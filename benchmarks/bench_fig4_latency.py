@@ -1,0 +1,72 @@
+"""Figure 4: order latency vs batching interval (f = 2).
+
+Regenerates one panel per crypto scheme — (a) MD5+RSA-1024,
+(b) MD5+RSA-1536, (c) SHA1+DSA-1024 — for CT, SC and BFT, and asserts
+the paper's findings:
+
+* CT's latency stays flat and low across the sweep;
+* SC's steady-state latency is below BFT's for every scheme;
+* both SC and BFT blow up below a saturation threshold, and BFT's
+  threshold is *larger* (it saturates at larger batching intervals);
+* the SC/BFT steady-state gap widens when RSA is replaced by DSA
+  (verification cost hits BFT's n-to-n phases hardest).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, series_table
+from repro.harness.experiments import run_order_experiment
+
+INTERVALS = (0.040, 0.060, 0.100, 0.250, 0.500)
+STEADY = 0.500
+N_BATCHES = 40
+
+_gap_by_scheme: dict[str, float] = {}
+
+
+def _sweep(scheme: str):
+    series: dict[str, list[tuple[float, float]]] = {}
+    for protocol in ("ct", "sc", "bft"):
+        pts = []
+        for interval in INTERVALS:
+            result = run_order_experiment(
+                protocol, scheme, interval, n_batches=N_BATCHES, warmup_batches=8
+            )
+            pts.append((interval, result.latency_mean))
+        series[protocol] = pts
+    return series
+
+
+def _check_panel(scheme: str, series) -> None:
+    latency = {p: dict(pts) for p, pts in series.items()}
+    # CT flat and low.
+    ct_values = [latency["ct"][iv] for iv in INTERVALS]
+    assert max(ct_values) < 0.015, "CT should stay around 10 ms"
+    assert max(ct_values) / min(ct_values) < 2.5, "CT should stay flat"
+    # SC below BFT at every interval.
+    for iv in INTERVALS:
+        assert latency["sc"][iv] < latency["bft"][iv], (
+            f"SC should beat BFT at {iv*1e3:.0f} ms under {scheme}"
+        )
+    # Saturation: BFT inflates more at the tightest interval.
+    sc_blow = latency["sc"][INTERVALS[0]] / latency["sc"][STEADY]
+    bft_blow = latency["bft"][INTERVALS[0]] / latency["bft"][STEADY]
+    assert bft_blow > sc_blow, "BFT should saturate earlier/harder than SC"
+    _gap_by_scheme[scheme] = latency["bft"][STEADY] - latency["sc"][STEADY]
+
+
+@pytest.mark.parametrize(
+    "scheme", ["md5-rsa1024", "md5-rsa1536", "sha1-dsa1024"]
+)
+def test_fig4_panel(benchmark, scheme):
+    series = run_once(benchmark, lambda: _sweep(scheme))
+    print()
+    print(series_table(
+        f"Figure 4 — order latency (s) vs batching interval [{scheme}]",
+        series, "interval (s)", "latency (s)",
+    ))
+    _check_panel(scheme, series)
+    if "md5-rsa1024" in _gap_by_scheme and "sha1-dsa1024" in _gap_by_scheme:
+        assert (
+            _gap_by_scheme["sha1-dsa1024"] > _gap_by_scheme["md5-rsa1024"]
+        ), "DSA should widen the SC/BFT steady-state gap (paper: 21 -> 37 ms)"

@@ -1,0 +1,57 @@
+"""Figure 6: fail-over latency vs BackLog size (f = 2).
+
+Regenerates the SC and SCR fail-over curves for each crypto scheme.
+A value-domain fault is injected at the coordinator replica while a
+controlled number of ~1 KB order batches sit acked-but-uncommitted, so
+BackLogs (SC) / ViewChanges (SCR) carry 1..5 KB of recovery payload.
+
+Asserted paper claims:
+
+* fail-over latency increases linearly with BackLog size (checked with
+  a least-squares fit, r² >= 0.9);
+* more expensive cryptography raises the whole curve (the install path
+  re-verifies every signature the backlogs carry).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, series_table
+from repro.harness.experiments import run_failover_experiment
+from repro.harness.metrics import linear_fit
+
+BACKLOG_BATCHES = (1, 2, 3, 4, 5)
+
+_steady_by_scheme: dict[tuple[str, str], float] = {}
+
+
+def _sweep(protocol: str, scheme: str):
+    pts = []
+    for k in BACKLOG_BATCHES:
+        result = run_failover_experiment(protocol, scheme, k)
+        pts.append((result.observed_backlog_bytes / 1024.0, result.failover_latency))
+    return pts
+
+
+@pytest.mark.parametrize("scheme", ["md5-rsa1024", "md5-rsa1536", "sha1-dsa1024"])
+@pytest.mark.parametrize("protocol", ["sc", "scr"])
+def test_fig6_curve(benchmark, protocol, scheme):
+    pts = run_once(benchmark, lambda: _sweep(protocol, scheme))
+    print()
+    print(series_table(
+        f"Figure 6 — fail-over latency (s) vs BackLog size [{protocol}, {scheme}]",
+        {protocol: pts}, "backlog (KB)", "latency (s)",
+    ))
+    xs = [x for x, _ in pts]
+    ys = [y for _, y in pts]
+    assert xs == sorted(xs) and xs[0] < xs[-1], "backlog sizes should grow"
+    slope, intercept, r2 = linear_fit(xs, ys)
+    print(f"  fit: {slope*1e3:.1f} ms/KB + {intercept*1e3:.1f} ms (r² = {r2:.3f})")
+    assert slope > 0, "latency should grow with backlog size"
+    assert r2 >= 0.90, "growth should be close to linear (paper: linear)"
+    _steady_by_scheme[(protocol, scheme)] = ys[0]
+    cheap = _steady_by_scheme.get((protocol, "md5-rsa1024"))
+    dear = _steady_by_scheme.get((protocol, "sha1-dsa1024"))
+    if cheap is not None and dear is not None:
+        assert dear > cheap, (
+            "more expensive crypto should raise the fail-over curve"
+        )

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artefacts (a figure
+panel, a table, or an ablation of a design choice) and *asserts the
+paper's qualitative claims* about it, so the suite doubles as a
+regression harness for the reproduction.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated series printed as tables.
+"""
+
+from __future__ import annotations
+
+
+def series_table(title: str, series: dict[str, list[tuple[float, float]]],
+                 xlabel: str, ylabel: str) -> str:
+    from repro.harness.report import render_series
+
+    return render_series(title, xlabel, ylabel, series)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail-over demo: a Byzantine coordinator is caught by its shadow.
+
+Replica ``p1`` (the coordinator) starts signing order batches whose
+request digests are corrupted — a value-domain failure.  Its shadow
+``p1'`` detects the mismatch while checking the proposal, emits the
+doubly-signed fail-signal, and the install part (BackLog → Start →
+support tuples) moves coordination to the pair {p2, p2'}.  The deposed
+pair goes *dumb* (Section 4.3) and ordering resumes.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
+from repro.failures.faults import WrongDigestFault
+from repro.harness.metrics import failover_latency
+
+
+def main() -> None:
+    config = ProtocolConfig(f=2, batching_interval=0.100)
+    cluster = build_cluster("sc", config=config, seed=7)
+    workload = OpenLoopWorkload(cluster, rate=120, duration=3.0)
+    workload.install()
+
+    cluster.injector.inject(cluster.process("p1"), WrongDigestFault(active_from=1.0))
+    print("injected: p1 will sign corrupted digests from t = 1.0 s\n")
+
+    cluster.start()
+    cluster.run(until=5.0)
+
+    trace = cluster.sim.trace
+    for record in trace:
+        if record.kind == "value_domain_failure":
+            print(f"t={record.time:.3f}s  {record.fields['actor']} detected: "
+                  f"{record.fields['reason']}")
+        elif record.kind == "fail_signal_emitted":
+            print(f"t={record.time:.3f}s  {record.fields['actor']} emitted the "
+                  f"doubly-signed fail-signal ({record.fields['domain']} domain)")
+        elif record.kind == "start_computed":
+            print(f"t={record.time:.3f}s  {record.fields['actor']} computed Start "
+                  f"(start_seq {record.fields['start_seq']})")
+        elif record.kind == "failover_complete":
+            print(f"t={record.time:.3f}s  {record.fields['actor']} issued Start with "
+                  f"f+1 signatures — new coordinator installed")
+        elif record.kind == "went_dumb":
+            print(f"t={record.time:.3f}s  {record.fields['actor']} went dumb")
+
+    print(f"\nfail-over latency: {failover_latency(trace) * 1e3:.1f} ms "
+          f"(fail-signal → Start with f+1 signatures)")
+
+    ranks = {}
+    for record in trace.of_kind("order_committed"):
+        if record.fields["actor"] != "p3":  # count each batch once
+            continue
+        ranks.setdefault(record.fields["rank"], 0)
+        ranks[record.fields["rank"]] += record.fields["n_requests"]
+    for rank, count in sorted(ranks.items()):
+        who = "pair {p1, p1'}" if rank == 1 else "pair {p2, p2'}"
+        print(f"requests committed under coordinator {rank} ({who}): {count}")
+
+    digests = set(cluster.agreement_digests().values())
+    assert len(digests) == 1, "replicas diverged!"
+    print("\nsafety held across the fail-over: all replicas agree ✓")
+
+
+if __name__ == "__main__":
+    main()

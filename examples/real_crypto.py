@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Run the protocol on *real* from-scratch RSA, and watch forgery fail.
+
+Everything in the performance studies uses the fast simulated signer
+(with calibrated timing); this example provisions actual RSA keys from
+the from-scratch implementation (reduced to 512 bits so key generation
+takes a moment, not minutes), orders requests end to end, and then
+demonstrates Assumption 2: a fabricated signature and a tampered
+message are both rejected.
+
+Run:  python examples/real_crypto.py
+"""
+
+from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
+from repro.crypto.signed import SignedMessage, sign_message, verify_signed
+from repro.crypto.signing import Signature
+
+
+def main() -> None:
+    config = ProtocolConfig(f=1, batching_interval=0.100)
+    print("generating real RSA keys (512-bit, from-scratch implementation)…")
+    cluster = build_cluster("sc", config=config, seed=3,
+                            crypto_mode="real", key_bits=512)
+    workload = OpenLoopWorkload(cluster, rate=80, duration=1.5)
+    workload.install()
+    cluster.start()
+    cluster.run(until=3.0)
+
+    applied = {p.machine.applied_seq for p in cluster.processes.values()}
+    digests = set(cluster.agreement_digests().values())
+    print(f"ordered {workload.issued} requests under real RSA signatures; "
+          f"replicas agree: {len(digests) == 1} (applied {applied.pop()} entries)\n")
+
+    provider = cluster.provider
+    body = {"seq": 1, "digest": "d3adb33f"}
+    genuine = sign_message(provider, "p1", body)
+    print(f"genuine p1 signature verifies: "
+          f"{verify_signed(provider, genuine, ('p1',))}")
+
+    # A Byzantine p2 tries to forge p1's signature with garbage bytes.
+    forged = SignedMessage(
+        body=body,
+        signatures=(Signature(signer="p1", scheme=provider.scheme.name,
+                              value=b"\x42" * len(genuine.signatures[0].value)),),
+    )
+    print(f"forged 'p1' signature verifies:  "
+          f"{verify_signed(provider, forged, ('p1',))}")
+
+    # A Byzantine relay tampers with a signed message in transit.
+    tampered = SignedMessage(body={"seq": 2, "digest": "d3adb33f"},
+                             signatures=genuine.signatures)
+    print(f"tampered message verifies:       "
+          f"{verify_signed(provider, tampered, ('p1',))}")
+    print("\nunforgeability and tamper-evidence hold (Assumption 2) ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Command-line entry point: ``python -m repro <figure>``.
+
+A thin wrapper over :mod:`repro.harness.experiments`'s CLI so the
+package itself is runnable.
+"""
+
+import sys
+
+from repro.harness.experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Baseline protocols the paper compares against.
+
+* :mod:`repro.baselines.ct` — the crash-tolerant protocol CT, derived
+  from SC by removing pairs and all cryptography (Section 5);
+* :mod:`repro.baselines.bft` — a Castro–Liskov-style three-phase
+  Byzantine fault-tolerant protocol (pre-prepare / prepare / commit),
+  the comparator of Figures 4 and 5.
+"""
+
+from repro.baselines.ct import CtProcess
+from repro.baselines.bft.replica import BftReplica
+
+__all__ = ["BftReplica", "CtProcess"]

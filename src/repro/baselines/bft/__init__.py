@@ -1,0 +1,12 @@
+"""Castro–Liskov-style BFT baseline (the paper's comparator).
+
+Signature-based PBFT with the classic three-phase normal case
+(pre-prepare, prepare, commit) over ``n = 3f + 1`` replicas, plus a
+view change for crash/withholding primaries.  The paper's Figure 3(b)
+depicts exactly this message pattern: 1 → n, n → n, n → n.
+"""
+
+from repro.baselines.bft.replica import BftReplica
+from repro.baselines.bft.messages import Commit, PrePrepare, Prepare
+
+__all__ = ["BftReplica", "Commit", "PrePrepare", "Prepare"]

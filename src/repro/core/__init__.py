@@ -1,0 +1,34 @@
+"""The paper's contribution: signal-on-fail total-order protocols.
+
+* :mod:`~repro.core.config` — deployment parameters (``f``, crypto
+  scheme, batching, variant SC vs SCR);
+* :mod:`~repro.core.pair` — the signal-on-crash process abstraction:
+  mutual checking, output endorsement, fail-signalling (Section 3);
+* :mod:`~repro.core.sc` — the SC order protocol: normal part N1–N3
+  (Section 4.1) plus coordination by pairs;
+* :mod:`~repro.core.install` — the install part IN1–IN5: BackLog,
+  NewBackLog, Start, support tuples (Section 4.2) and the dumb-process
+  optimisation (Section 4.3);
+* :mod:`~repro.core.scr` — the Signal-on-Crash-and-Recovery extension:
+  pair status, recovery, Unwilling-augmented view changes (Section 4.4);
+* :mod:`~repro.core.service` — the replicated deterministic state
+  machine that consumes the total order;
+* :mod:`~repro.core.client` — clients that direct each request to all
+  nodes (Section 3).
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.client import Client
+from repro.core.requests import ClientRequest
+from repro.core.sc import ScProcess
+from repro.core.scr import ScrProcess
+from repro.core.service import ReplicatedStateMachine
+
+__all__ = [
+    "Client",
+    "ClientRequest",
+    "ProtocolConfig",
+    "ReplicatedStateMachine",
+    "ScProcess",
+    "ScrProcess",
+]

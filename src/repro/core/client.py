@@ -1,0 +1,78 @@
+"""Clients of the replicated service.
+
+Per the system model, clients are correct and "direct their requests to
+all nodes", so every non-faulty order process receives every request
+and order messages need only carry digests.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import HEADER_BYTES
+from repro.core.replies import Reply, ReplyTracker
+from repro.core.requests import ClientRequest
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Actor
+
+
+class Client(Actor):
+    """A correct client multicasting requests to all order processes.
+
+    When the deployment sends replies (``ProtocolConfig.send_replies``),
+    the client accepts a request as completed once ``f + 1`` distinct
+    processes reported the same execution result.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        targets: tuple[str, ...],
+        request_bytes: int = 64,
+        marshal_cost: float = 20e-6,
+        f: int = 1,
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.targets = targets
+        self.request_bytes = request_bytes
+        self.marshal_cost = marshal_cost
+        self._next_id = 1
+        self.issued: list[ClientRequest] = []
+        self.replies = ReplyTracker(f)
+        self._issue_times: dict[int, float] = {}
+
+    def issue(self, payload: bytes = b"") -> ClientRequest:
+        """Send one request to every order process; returns the request."""
+        request = ClientRequest(
+            client=self.name,
+            req_id=self._next_id,
+            payload=payload,
+            size_bytes=max(self.request_bytes, HEADER_BYTES + len(payload)),
+        )
+        self._next_id += 1
+        self.issued.append(request)
+        self._issue_times[request.req_id] = self.sim.now
+        depart = self.charge(self.marshal_cost)
+        self.network.multicast(
+            self.name, self.targets, request, request.size_bytes, depart_time=depart
+        )
+        self.trace("request_issued", req=request.key)
+        return request
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Reply) and payload.client == self.name:
+            if self.replies.note_reply(payload, self.sim.now):
+                issued_at = self._issue_times.get(payload.req_id)
+                self.trace(
+                    "request_completed",
+                    req=(payload.client, payload.req_id),
+                    seq=payload.seq,
+                    rtt=None if issued_at is None else self.sim.now - issued_at,
+                )
+
+    @property
+    def completed_count(self) -> int:
+        """Requests with ``f + 1`` matching execution results."""
+        return len(self.replies.completed)

@@ -1,0 +1,181 @@
+"""Deployment configuration for the signal-on-fail protocols.
+
+Encodes the paper's structural rules:
+
+* **SC** (Section 3): ``n = 3f + 1`` order processes — replicas
+  ``p1 .. p(2f+1)`` of which ``p1 .. pf`` are paired with shadows
+  ``p1' .. pf'``; coordinator candidates are the ``f`` pairs (ranked
+  first) followed by the unpaired ``p(f+1)``.
+* **SCR** (Section 4.4): ``n = 3f + 2`` — ``f + 1`` pairs (``p(f+1)``
+  gains a shadow) and only pairs may coordinate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.schemes import MD5_RSA_1024, CryptoScheme
+from repro.errors import ConfigError
+from repro.net.addresses import replica_name, shadow_name
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Parameters of one signal-on-fail deployment.
+
+    Attributes
+    ----------
+    f:
+        Fault-tolerance parameter; at most ``f`` nodes fail overall
+        (``fr + fs <= f``, Assumption 1).
+    variant:
+        ``"sc"`` for the Signal-on-Crash set-up (assumptions 3(a)),
+        ``"scr"`` for Signal-on-Crash-and-Recovery (assumptions 3(b)).
+    scheme:
+        Digest/signature configuration (Section 5 evaluates three).
+    batching_interval:
+        Seconds between coordinator batch formations (paper: 40–500 ms).
+    batch_size_bytes:
+        Maximum batch payload (paper: fixed at 1 KB).
+    pair_delay_estimate:
+        The differential delay bound used for timeliness checking inside
+        a pair (Section 2.1.1); accurate under 3(a)(i), eventually
+        accurate under 3(b)(i).
+    order_deadline_slack:
+        Extra allowance on top of ``batching_interval`` before a shadow
+        treats a missing order decision as a time-domain failure.
+    heartbeat_interval:
+        Pair heartbeat cadence (drives both failure detection in idle
+        periods and SCR recovery probing).
+    dumb_optimization:
+        Section 4.3's first optimisation — fail-signalled pairs stop
+        transmitting and the quorum shrinks accordingly.
+    pair_forwarding:
+        Section 3.1's normal-form collaboration (i): paired processes
+        forward copies of received messages to their counterpart.
+        Defaults to off because the collaboration is already satisfied
+        by direct reception — clients address *all* nodes and protocol
+        multicasts address all order processes, so each pair member
+        receives every message its counterpart does; explicit copies
+        only add pair-link load.  (The paper's measured SC latencies,
+        which beat BFT, are only reproducible with redundant copying
+        disabled; an ablation benchmark quantifies its cost.)
+    view_timeout:
+        SCR only — how long an uncommitted order may age before a
+        process calls for a view change.
+    send_replies:
+        Close the SMR loop: processes send execution results to
+        clients, which accept on ``f + 1`` matching replies.  Off by
+        default so the performance studies measure exactly the paper's
+        ordering path.
+    checkpoint_interval:
+        Sequence numbers between checkpoints (0 disables).  When
+        ``f + 1`` processes vouch for the same state digest, committed
+        log entries below it are discarded.
+    """
+
+    f: int = 2
+    variant: str = "sc"
+    scheme: CryptoScheme = field(default_factory=lambda: MD5_RSA_1024)
+    batching_interval: float = 0.100
+    batch_size_bytes: int = 1024
+    request_bytes: int = 64
+    pair_delay_estimate: float = 0.020
+    order_deadline_slack: float = 0.050
+    heartbeat_interval: float = 0.100
+    dumb_optimization: bool = True
+    pair_forwarding: bool = False
+    view_timeout: float = 2.0
+    send_replies: bool = False
+    checkpoint_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.f < 1:
+            raise ConfigError(f"f must be >= 1, got {self.f}")
+        if self.variant not in ("sc", "scr"):
+            raise ConfigError(f"variant must be 'sc' or 'scr', got {self.variant!r}")
+        if self.batching_interval <= 0:
+            raise ConfigError("batching_interval must be positive")
+        if self.batch_size_bytes < self.request_bytes:
+            raise ConfigError("batch_size_bytes smaller than one request")
+        if self.pair_delay_estimate <= 0:
+            raise ConfigError("pair_delay_estimate must be positive")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def replica_count(self) -> int:
+        """Number of replica order processes (``2f + 1``)."""
+        return 2 * self.f + 1
+
+    @property
+    def pair_count(self) -> int:
+        """Number of replica/shadow pairs (``f`` for SC, ``f+1`` for SCR)."""
+        return self.f if self.variant == "sc" else self.f + 1
+
+    @property
+    def n(self) -> int:
+        """Total order processes: ``3f + 1`` (SC) or ``3f + 2`` (SCR)."""
+        return self.replica_count + self.pair_count
+
+    @property
+    def order_quorum(self) -> int:
+        """Distinct ack-or-order count needed to commit: ``n − f``."""
+        return self.n - self.f
+
+    @property
+    def coordinator_candidates(self) -> int:
+        """Number of ranked coordinator candidates (``f + 1``)."""
+        return self.f + 1
+
+    @property
+    def replica_names(self) -> tuple[str, ...]:
+        """Names ``p1 .. p(2f+1)``."""
+        return tuple(replica_name(i) for i in range(1, self.replica_count + 1))
+
+    @property
+    def shadow_names(self) -> tuple[str, ...]:
+        """Names of the shadow processes, pair rank order."""
+        return tuple(shadow_name(i) for i in range(1, self.pair_count + 1))
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """Every order process (replicas then shadows)."""
+        return self.replica_names + self.shadow_names
+
+    @property
+    def paired_indices(self) -> tuple[int, ...]:
+        """Replica indices that have a shadow."""
+        return tuple(range(1, self.pair_count + 1))
+
+    def is_paired(self, index: int) -> bool:
+        """Whether replica ``index`` has a shadow."""
+        return 1 <= index <= self.pair_count
+
+    def coordinator_members(self, rank: int) -> tuple[str, ...]:
+        """Process names of coordinator candidate ``rank`` (1-based).
+
+        For SC, ranks ``1..f`` are the pairs and rank ``f+1`` is the
+        unpaired process ``p(f+1)``.  For SCR every rank is a pair.
+        """
+        if not 1 <= rank <= self.coordinator_candidates:
+            raise ConfigError(
+                f"coordinator rank {rank} out of range 1..{self.coordinator_candidates}"
+            )
+        if self.variant == "sc" and rank == self.f + 1:
+            return (replica_name(rank),)
+        return (replica_name(rank), shadow_name(rank))
+
+    def scr_candidate_rank(self, view: int) -> int:
+        """SCR: coordinator-pair rank for ``view`` (views start at 1).
+
+        Implements the paper's ``c = v mod (f+1)``, with ``c = f+1``
+        when the residue is zero.
+        """
+        residue = view % (self.f + 1)
+        return residue if residue != 0 else self.f + 1
+
+    def with_(self, **changes) -> "ProtocolConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

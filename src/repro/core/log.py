@@ -1,0 +1,229 @@
+"""Per-process order log: orders seen, acks counted, commits proven.
+
+One :class:`Slot` per order batch, keyed by the batch's first sequence
+number.  A slot commits when ack-or-order evidence from ``quorum``
+distinct processes accumulates (step N2); the evidence set is retained
+as the proof of commitment (step N3) that BackLogs later carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import CommitProof, OrderBatch, SignedMessage
+from repro.errors import ProtocolError
+
+
+@dataclass
+class Slot:
+    """State of one order batch at one process.
+
+    ``evidence`` maps each supporting acker to the signed ack received
+    from it — the raw material of the proof of commitment.
+    """
+
+    first_seq: int
+    order: SignedMessage | None = None  # adopted SignedMessage[OrderBatch]
+    support: set[str] = field(default_factory=set)
+    evidence: dict[str, SignedMessage] = field(default_factory=dict)
+    acked: bool = False
+    committed: bool = False
+    committed_at: float | None = None
+    competing: list[SignedMessage] = field(default_factory=list)
+
+    @property
+    def last_seq(self) -> int:
+        if self.order is None:
+            raise ProtocolError(f"slot {self.first_seq} has no adopted order")
+        batch: OrderBatch = self.order.body
+        return batch.last_seq
+
+
+class OrderLog:
+    """The order/ack/commit bookkeeping of one process.
+
+    ``quorum`` may be lowered at run time by the dumb-process
+    optimisation (Section 4.3 reduces ``n`` by 2 and ``f`` by 1 after
+    each fail-over, so the threshold ``n − f`` drops by 1).
+    """
+
+    def __init__(self, quorum: int) -> None:
+        self.quorum = quorum
+        self.slots: dict[int, Slot] = {}
+        self.highest_committed: int = 0  # largest committed last_seq
+        self._max_committed_slot: Slot | None = None
+
+    # ------------------------------------------------------------------
+    # Recording evidence
+    # ------------------------------------------------------------------
+    def slot_for(self, first_seq: int) -> Slot:
+        slot = self.slots.get(first_seq)
+        if slot is None:
+            slot = Slot(first_seq=first_seq)
+            self.slots[first_seq] = slot
+        return slot
+
+    def note_order(self, signed: SignedMessage) -> Slot:
+        """Record an order batch; adopt it if the slot is empty.
+
+        A *different* batch at an occupied slot is kept in
+        ``competing`` — evidence of equivocation for the install part
+        to resolve.
+        """
+        batch: OrderBatch = signed.body
+        slot = self.slot_for(batch.first_seq)
+        if slot.order is None:
+            slot.order = signed
+            slot.support.update(signed.signers)
+        elif self._same_batch(slot.order, signed):
+            slot.support.update(signed.signers)
+        else:
+            slot.competing.append(signed)
+        return slot
+
+    def note_ack(
+        self, acker: str, signed_order: SignedMessage, signed_ack: SignedMessage | None = None
+    ) -> Slot:
+        """Record one process's ack (which carries the order).
+
+        ``signed_ack`` is retained as proof-of-commitment evidence; the
+        local process's own ack passes ``None`` (its contribution to a
+        proof is re-signed on demand).
+        """
+        slot = self.note_order(signed_order)
+        if slot.order is not None and self._same_batch(slot.order, signed_order):
+            slot.support.add(acker)
+            if signed_ack is not None:
+                slot.evidence.setdefault(acker, signed_ack)
+        return slot
+
+    @staticmethod
+    def _same_batch(a: SignedMessage, b: SignedMessage) -> bool:
+        batch_a: OrderBatch = a.body
+        batch_b: OrderBatch = b.body
+        return batch_a.entries == batch_b.entries and batch_a.rank == batch_b.rank
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def quorum_reached(self, slot: Slot) -> bool:
+        """N2: evidence from ``quorum`` distinct processes present."""
+        return slot.order is not None and len(slot.support) >= self.quorum
+
+    def commit(self, slot: Slot, now: float) -> None:
+        """N3: mark committed; idempotent calls are an error."""
+        if slot.committed:
+            raise ProtocolError(f"slot {slot.first_seq} committed twice")
+        if slot.order is None:
+            raise ProtocolError(f"slot {slot.first_seq} committed without an order")
+        slot.committed = True
+        slot.committed_at = now
+        if slot.last_seq > self.highest_committed:
+            self.highest_committed = slot.last_seq
+            self._max_committed_slot = slot
+
+    def force_commit(self, signed: SignedMessage, now: float) -> Slot:
+        """Commit an order adopted from an install/catch-up path.
+
+        An *uncommitted* conflicting order at the slot is overridden —
+        the install part's NewBackLog is authoritative for uncommitted
+        positions.  A *committed* conflicting order would be a safety
+        violation and raises.
+        """
+        batch: OrderBatch = signed.body
+        slot = self.slot_for(batch.first_seq)
+        if slot.order is not None and not self._same_batch(slot.order, signed):
+            if slot.committed:
+                raise ProtocolError(
+                    f"conflicting commit at slot {slot.first_seq}: "
+                    "the install part chose an order that contradicts a "
+                    "locally committed one"
+                )
+            slot.competing.append(slot.order)
+            slot.order = signed
+            slot.support = set(signed.signers)
+            slot.evidence = {}
+        elif slot.order is None:
+            slot.order = signed
+            slot.support.update(signed.signers)
+        if not slot.committed:
+            self.commit(slot, now)
+        return slot
+
+    def drop_uncommitted_from(self, first_seq: int) -> list[SignedMessage]:
+        """Discard uncommitted slots at/above ``first_seq`` (orders from
+        a deposed coordinator that did not survive into NewBackLog).
+        Returns the dropped orders so requests can be re-queued."""
+        dropped: list[SignedMessage] = []
+        for key in sorted(self.slots):
+            slot = self.slots[key]
+            if key >= first_seq and not slot.committed:
+                if slot.order is not None:
+                    dropped.append(slot.order)
+                del self.slots[key]
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Views used by the install part
+    # ------------------------------------------------------------------
+    def max_committed_proof(self) -> CommitProof | None:
+        """The committed order with the largest sequence number, plus
+        the distinct-process evidence retained at commit time.
+
+        N3 retains exactly the ``n − f`` distinct ack/order messages;
+        the proof is trimmed accordingly (the order's own signers count,
+        so ``quorum − len(signers)`` acks suffice)."""
+        slot = self._max_committed_slot
+        if slot is None or slot.order is None:
+            return None
+        needed = max(0, self.quorum - len(set(slot.order.signers)))
+        ackers = [name for name in sorted(slot.evidence) if name not in slot.order.signers]
+        acks = tuple(slot.evidence[name] for name in ackers[:needed])
+        return CommitProof(order=slot.order, acks=acks, quorum=self.quorum)
+
+    def uncommitted_orders(self) -> tuple[SignedMessage, ...]:
+        """Acked-but-uncommitted orders, in sequence order (IN1 (c))."""
+        picked = [
+            slot
+            for slot in self.slots.values()
+            if slot.acked and not slot.committed and slot.order is not None
+        ]
+        picked.sort(key=lambda slot: slot.first_seq)
+        return tuple(slot.order for slot in picked)
+
+    def committed_between(self, first: int, last: int) -> tuple[SignedMessage, ...]:
+        """Committed orders whose range intersects ``[first, last]``
+        (catch-up replies)."""
+        picked = [
+            slot
+            for slot in self.slots.values()
+            if slot.committed
+            and slot.order is not None
+            and slot.first_seq <= last
+            and slot.last_seq >= first
+        ]
+        picked.sort(key=lambda slot: slot.first_seq)
+        return tuple(slot.order for slot in picked)
+
+    def committed_slots(self) -> list[Slot]:
+        """All committed slots in sequence order."""
+        picked = [s for s in self.slots.values() if s.committed]
+        picked.sort(key=lambda slot: slot.first_seq)
+        return picked
+
+    def truncate_below(self, stable_seq: int) -> int:
+        """Discard committed slots entirely below a stable checkpoint.
+
+        The slot backing :meth:`max_committed_proof` is always kept —
+        BackLogs must be able to carry the proof.  Returns the number
+        of slots discarded.
+        """
+        keep = self._max_committed_slot
+        victims = [
+            first_seq
+            for first_seq, slot in self.slots.items()
+            if slot.committed and slot.last_seq <= stable_seq and slot is not keep
+        ]
+        for first_seq in victims:
+            del self.slots[first_seq]
+        return len(victims)

@@ -1,0 +1,120 @@
+"""Signal-on-crash pair logic: validation and fail-signal construction.
+
+Pure functions used by the protocol processes, kept separate so the
+value-domain checking rules of Section 3.1 and the fail-signal format
+of Section 3.2 are unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.messages import (
+    FailSignalBody,
+    OrderBatch,
+    SignedMessage,
+    countersign,
+    verify_signed,
+)
+from repro.core.requests import ClientRequest
+from repro.crypto.signing import Signature, SignatureProvider
+from repro.net.addresses import base_index, pair_of
+
+#: Validation outcomes for a proposed order batch.
+VALID = "valid"
+INVALID = "invalid"
+DEFER = "defer"  # a referenced request has not arrived yet
+
+
+@dataclass(frozen=True)
+class Validation:
+    """Result of value-domain checking of a coordinator's proposal."""
+
+    verdict: str
+    reason: str = ""
+    missing: tuple[tuple[str, int], ...] = ()
+
+
+def validate_order_batch(
+    batch: OrderBatch,
+    expected_first_seq: int,
+    pending: Mapping[tuple[str, int], ClientRequest],
+    digest_name: str,
+) -> Validation:
+    """The shadow's value-domain check of a proposed order batch.
+
+    Checks, per Section 3.1: sequence numbers are the expected,
+    consecutive ones; every entry references a known client request;
+    and every digest matches the request actually received.  A missing
+    request yields ``DEFER`` (clients send to all nodes, so the request
+    is on its way — or the coordinator fabricated it, which the
+    deferral deadline in the caller turns into a failure).
+    """
+    if not batch.entries:
+        return Validation(INVALID, "empty batch")
+    if batch.first_seq != expected_first_seq:
+        return Validation(
+            INVALID,
+            f"batch starts at {batch.first_seq}, expected {expected_first_seq}",
+        )
+    missing: list[tuple[str, int]] = []
+    for offset, entry in enumerate(batch.entries):
+        if entry.seq != batch.first_seq + offset:
+            return Validation(INVALID, f"non-consecutive seq {entry.seq}")
+        request = pending.get((entry.client, entry.req_id))
+        if request is None:
+            missing.append((entry.client, entry.req_id))
+            continue
+        if request.digest_under(digest_name) != entry.req_digest:
+            return Validation(
+                INVALID, f"digest mismatch for request {(entry.client, entry.req_id)}"
+            )
+    if missing:
+        return Validation(DEFER, "request(s) not yet received", tuple(missing))
+    return Validation(VALID)
+
+
+def batches_equal(a: OrderBatch, b: OrderBatch) -> bool:
+    """Value-domain equality of two order batches."""
+    return a.rank == b.rank and a.entries == b.entries
+
+
+def build_fail_signal(
+    provider: SignatureProvider,
+    holder: str,
+    blank_body: FailSignalBody,
+    blank_signature: Signature,
+) -> SignedMessage:
+    """Double-sign the pre-supplied fail-signal blank (Section 3.2).
+
+    The blank already carries the counterpart's signature; the holder
+    adds its own, producing the authentic doubly-signed fail-signal.
+    """
+    singly = SignedMessage(body=blank_body, signatures=(blank_signature,))
+    return countersign(provider, holder, singly)
+
+
+def fail_signal_pair_rank(
+    provider: SignatureProvider, message: SignedMessage
+) -> int | None:
+    """Validate a received fail-signal; returns the pair rank or None.
+
+    An authentic fail-signal is doubly-signed, its two signers are the
+    two members of the pair named in the body, and the first signer
+    matches the blank's ``first_signer`` field (the dealer signed the
+    blank as the counterpart of its holder).
+    """
+    body = message.body
+    if not isinstance(body, FailSignalBody):
+        return None
+    if len(message.signatures) != 2:
+        return None
+    first, second = message.signers
+    if first != body.first_signer or second != pair_of(first):
+        return None
+    if base_index(first) != body.pair:
+        return None
+    if not verify_signed(provider, message):
+        return None
+    return body.pair

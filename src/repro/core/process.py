@@ -1,0 +1,203 @@
+"""Shared plumbing for order processes (SC, SCR, and the baselines).
+
+:class:`OrderProcessBase` wires an actor to the network with the cost
+accounting conventions used throughout the reproduction:
+
+* **receive**: the network charges ``unmarshal + handling +
+  verification`` (from :meth:`receive_service`) to the node CPU before
+  the handler runs;
+* **sign**: handlers charge signing/digesting when they create signed
+  messages (:meth:`make_signed` / :meth:`make_countersigned`);
+* **send**: :meth:`send_payload` / :meth:`multicast_payload` charge
+  marshalling plus a per-destination cost, and the message departs when
+  that CPU work completes.
+
+Fault plans (:mod:`repro.failures`) are consulted here for crash
+behaviour; richer Byzantine hooks are consulted by the protocol
+subclasses at their decision points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.calibration import CalibrationProfile
+from repro.core.messages import (
+    SignedMessage,
+    countersign,
+    payload_size,
+    sign_message,
+    verify_signed,
+)
+from repro.core.requests import ClientRequest
+from repro.crypto.costs import OpCosts
+from repro.crypto.signing import SignatureProvider
+from repro.failures.faults import FaultPlan
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Actor
+
+
+class OrderProcessBase(Actor):
+    """An order process attached to the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        provider: SignatureProvider,
+        calibration: CalibrationProfile,
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.provider = provider
+        self.cal = calibration
+        self.cost: OpCosts = calibration.crypto.for_scheme(provider.scheme)
+        self.cpu.overload_gamma = calibration.overload_gamma
+        self.fault: FaultPlan = FaultPlan(active_from=float("inf"))
+        # Requests known to this process (clients send to all nodes).
+        self.pending: dict[tuple[str, int], ClientRequest] = {}
+        self.request_arrival: dict[tuple[str, int], float] = {}
+        # True once the process has been turned "dumb" (Section 4.3):
+        # it keeps executing but no longer transmits.
+        self.dumb = False
+        network.attach(self)
+
+    # ------------------------------------------------------------------
+    # Fault state
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """Whether the process's fault plan says it has crashed."""
+        return self.fault.is_crashed(self.sim.now)
+
+    @property
+    def may_transmit(self) -> bool:
+        """Dumb or crashed processes do not put messages on the wire."""
+        return not self.dumb and not self.crashed
+
+    # ------------------------------------------------------------------
+    # Signing helpers (charge CPU at creation time)
+    # ------------------------------------------------------------------
+    def make_signed(self, body: Any) -> SignedMessage:
+        """Sign ``body`` as this process, charging sign + digest cost."""
+        size = payload_size(body)
+        self.charge(self.cost.sign + self.cost.digest_cost(size))
+        return sign_message(self.provider, self.name, body)
+
+    def make_countersigned(self, message: SignedMessage) -> SignedMessage:
+        """Add this process's endorsement signature."""
+        size = payload_size(message.body)
+        self.charge(self.cost.sign + self.cost.digest_cost(size))
+        return countersign(self.provider, self.name, message)
+
+    def check_signed(
+        self, message: SignedMessage, expected_signers: tuple[str, ...] | None = None
+    ) -> bool:
+        """Logical signature verification (its CPU cost was charged by
+        :meth:`receive_service` when the message arrived)."""
+        return verify_signed(self.provider, message, expected_signers)
+
+    def verify_cost(self, n_signatures: int, size_bytes: int) -> float:
+        """CPU seconds to verify ``n_signatures`` over a body of
+        ``size_bytes`` (one digest computation, n public-key ops)."""
+        if n_signatures <= 0:
+            return 0.0
+        return n_signatures * self.cost.verify + self.cost.digest_cost(size_bytes)
+
+    # ------------------------------------------------------------------
+    # Transmission helpers
+    # ------------------------------------------------------------------
+    def send_payload(self, dest: str, payload: Any) -> None:
+        """Unicast with marshalling cost; silently dropped when the
+        process is dumb/crashed or its fault plan censors the send."""
+        if not self.may_transmit:
+            return
+        if self.fault.drops_message(self.sim.now, payload, dest):
+            return
+        size = payload_size(payload)
+        depart = self.cpu.submit(self.cal.marshal_cost(size) + self.cal.send_per_dest)
+        self.network.send(self.name, dest, payload, size, depart_time=depart)
+
+    def send_pair(self, dest: str, payload: Any) -> None:
+        """Unicast over the pair link (adds the RMI call overhead)."""
+        if not self.may_transmit:
+            return
+        if self.fault.drops_message(self.sim.now, payload, dest):
+            return
+        size = payload_size(payload)
+        depart = self.cpu.submit(
+            self.cal.marshal_cost(size) + self.cal.pair_call_overhead
+        )
+        self.network.send(self.name, dest, payload, size, depart_time=depart)
+
+    def send_urgent(self, dest: str, payload: Any) -> None:
+        """Interrupt-level unicast: departs immediately, bypassing the
+        CPU queue.  Used for heartbeat-class keepalives whose entire
+        purpose is to stay timely while the node crunches."""
+        if not self.may_transmit:
+            return
+        if self.fault.drops_message(self.sim.now, payload, dest):
+            return
+        self.network.send(self.name, dest, payload, payload_size(payload))
+
+    def multicast_payload(self, dests: Iterable[str], payload: Any) -> None:
+        """Marshal once, then send to every destination."""
+        if not self.may_transmit:
+            return
+        targets = [
+            dest
+            for dest in dests
+            if dest != self.name
+            and not self.fault.drops_message(self.sim.now, payload, dest)
+        ]
+        if not targets:
+            return
+        size = payload_size(payload)
+        depart = self.cpu.submit(
+            self.cal.marshal_cost(size) + self.cal.send_per_dest * len(targets)
+        )
+        for dest in targets:
+            self.network.send(self.name, dest, payload, size, depart_time=depart)
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def receive_service(self, payload: Any, size_bytes: int) -> float:
+        """Unmarshal + handling + type-specific verification cost."""
+        if self.crashed:
+            return 0.0
+        if self.is_urgent(payload):
+            return 0.0  # interrupt-level: never queues behind work
+        base = self.cal.unmarshal_cost(size_bytes) + self.cal.handle_base
+        return base + self.verification_service(payload, size_bytes)
+
+    def is_urgent(self, payload: Any) -> bool:
+        """Heartbeat-class messages handled at interrupt level;
+        subclasses widen this for their own keepalive types."""
+        return False
+
+    def verification_service(self, payload: Any, size_bytes: int) -> float:
+        """Protocol-specific verification cost; subclasses override."""
+        return 0.0
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        if self.crashed:
+            return
+        self.handle(sender, payload)
+
+    def handle(self, sender: str, payload: Any) -> None:
+        """Protocol logic; subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Request pool
+    # ------------------------------------------------------------------
+    def note_request(self, request: ClientRequest) -> bool:
+        """Record a client request; False if it was already known."""
+        if request.key in self.pending:
+            return False
+        self.pending[request.key] = request
+        self.request_arrival[request.key] = self.sim.now
+        return True

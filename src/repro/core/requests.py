@@ -1,0 +1,33 @@
+"""Client requests and their digests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.digests import digest
+from repro.crypto.encoding import canonical_bytes
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One request from a correct client.
+
+    ``payload`` carries the operation for the deterministic state
+    machine.  ``size_bytes`` is the declared wire size — performance
+    runs use small payloads with a declared size so the simulator
+    accounts realistic bytes without hauling them around.
+    """
+
+    client: str
+    req_id: int
+    payload: bytes = b""
+    size_bytes: int = 64
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Identity of the request: ``(client, req_id)``."""
+        return (self.client, self.req_id)
+
+    def digest_under(self, digest_name: str) -> bytes:
+        """The request digest ``D(m)`` used inside order messages."""
+        return digest(digest_name, canonical_bytes(self))

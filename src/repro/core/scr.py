@@ -1,0 +1,452 @@
+"""The Signal-on-Crash-and-Recovery extension (Section 4.4).
+
+SCR weakens assumption 3(a)(i) to 3(b)(i): pair delay estimates are
+only *eventually* accurate, so two correct pair members may falsely
+suspect each other, fail-signal, and later — finding each other timely
+again through continued mutual checking — resume working as a pair.
+The consequences the paper draws, all implemented here:
+
+* property SC2 no longer holds, so the unpaired ``(f+1)``-th candidate
+  cannot be trusted: SCR deploys ``f + 1`` pairs (``n = 3f + 2``) and
+  only pairs coordinate;
+* each pair tracks ``statusc ∈ {up, down, permanently_down}``; a
+  value-domain failure makes the pair permanently down, a time-domain
+  suspicion only marks it down until mutual checking succeeds again;
+* coordinator changes use the **view-change part of BFT**, modified:
+  the candidate pair for view ``v`` is ``c = v mod (f+1)`` (``f+1``
+  when the residue is 0); a candidate whose status is not ``up``
+  multicasts ``Unwilling(v)`` carrying its fail-signal, receivers echo
+  it to the pair and multicast ``ViewChange(v+1)`` — non-coordinator
+  processes never wait on a timeout for this step;
+* a willing candidate collects ``n − f`` ViewChange messages, computes
+  the NewBackLog (same rule as the install part), and its shadow
+  endorses the resulting ``NewView``, which commits through the normal
+  part exactly like a Start.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.install import BacklogView, compute_new_backlog, verify_start_against_backlogs
+from repro.core.messages import (
+    NewView,
+    OrderBatch,
+    PairStartProposal,
+    PairStatusUp,
+    SignedMessage,
+    Unwilling,
+    ViewChange,
+    payload_size,
+)
+from repro.core.pair import fail_signal_pair_rank
+from repro.core.sc import INSTALL_CLIENT, ScProcess, make_install_batch
+from repro.errors import ProtocolError
+
+STATUS_UP = "up"
+STATUS_DOWN = "down"
+STATUS_PERMANENTLY_DOWN = "permanently_down"
+
+
+class ScrProcess(ScProcess):
+    """One order process of the SCR protocol."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.config.variant != "scr":
+            raise ProtocolError("ScrProcess requires a config with variant='scr'")
+        self.view = 1
+        self.pending_view: int | None = None
+        self.status = STATUS_UP if self.paired else STATUS_PERMANENTLY_DOWN
+        self._view_changes: dict[int, dict[str, SignedMessage]] = {}
+        self._newview_computed: set[int] = set()
+        self._voted_views: set[int] = set()
+        self._status_up_sent = False
+        self._counterpart_status_up = False
+        self._fs_seen: set[tuple[int, int]] = set()
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # Suspicion without the oracle (assumption 3(b)(i))
+    # ------------------------------------------------------------------
+    def _timing_suspicion(self, reason: str) -> None:
+        """Time-domain deadline misses are believed immediately — the
+        delay estimate may simply be wrong right now.  The pair goes
+        *down*, not permanently down, and may recover."""
+        if self.pair_down:
+            return
+        self.trace("time_domain_failure", reason=reason)
+        self.emit_fail_signal(reason=reason, domain="time")
+        if self.status != STATUS_PERMANENTLY_DOWN:
+            self.status = STATUS_DOWN
+
+    def _value_domain_failure(self, reason: str) -> None:
+        self.trace("value_domain_failure", reason=reason)
+        self.emit_fail_signal(reason=reason, domain="value")
+        self.status = STATUS_PERMANENTLY_DOWN
+
+    def emit_fail_signal(self, reason: str = "", domain: str = "time") -> None:
+        super().emit_fail_signal(reason=reason, domain=domain)
+        if self.status != STATUS_PERMANENTLY_DOWN:
+            self.status = STATUS_DOWN
+
+    # ------------------------------------------------------------------
+    # Recovery through continued mutual checking
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self) -> None:
+        """Heartbeats continue while down (that *is* the continued
+        mutual checking of Section 3.1) so recovery can be detected."""
+        self._heartbeat_armed = False
+        if self.crashed or self.status == STATUS_PERMANENTLY_DOWN:
+            return
+        from repro.core.messages import Heartbeat  # local import to avoid cycle noise
+
+        self.send_urgent(self.counterpart, Heartbeat(self.name, nonce=int(self.sim.now * 1e6)))
+        silent_for = self.sim.now - self.last_heard_from_counterpart
+        threshold = self._silence_threshold()
+        if self.status == STATUS_UP and not self.pair_down and silent_for > threshold:
+            self._timing_suspicion(f"counterpart silent for {silent_for:.3f}s")
+        elif self.status == STATUS_DOWN and silent_for <= threshold:
+            # Counterpart looks timely again: propose resuming the pair
+            # (re-offered every beat until the handshake completes).
+            self._status_up_sent = True
+            self.send_urgent(self.counterpart, PairStatusUp(self.name, since=self.sim.now))
+            self._maybe_recover()
+        self._arm_heartbeat()
+
+    def _on_fail_signal(self, sender: str, signed: SignedMessage) -> None:
+        """SCR pairs can fail more than once (they recover in between),
+        so fail-signal deduplication is per (pair, view) rather than
+        per pair."""
+        rank = fail_signal_pair_rank(self.provider, signed)
+        if rank is None:
+            return
+        key = (rank, self.view)
+        if key in self._fs_seen:
+            return
+        self._fs_seen.add(key)
+        body = signed.body
+        if sender != body.first_signer:
+            self.send_payload(body.first_signer, signed)
+        if self.paired and rank == self.index and not self.fail_signalled:
+            self.emit_fail_signal(reason="counterpart fail-signalled")
+        self._register_fail_signal(signed, rank)
+
+    def handle(self, sender: str, payload: Any) -> None:
+        if self.paired and sender == self.counterpart:
+            self.last_heard_from_counterpart = self.sim.now
+        if isinstance(payload, PairStatusUp):
+            if sender != self.counterpart:
+                return
+            if self.status == STATUS_DOWN:
+                self._counterpart_status_up = True
+                if not self._status_up_sent:
+                    self._status_up_sent = True
+                    self.send_urgent(self.counterpart, PairStatusUp(self.name, since=self.sim.now))
+                self._maybe_recover()
+            elif self.status == STATUS_UP:
+                # Already consider the pair operative: confirm, so a
+                # counterpart that re-failed asymmetrically can rejoin.
+                self.send_urgent(self.counterpart, PairStatusUp(self.name, since=self.sim.now))
+            return
+        if isinstance(payload, SignedMessage) and isinstance(payload.body, ViewChange):
+            if self.paired and sender == self.counterpart:
+                self.last_heard_from_counterpart = self.sim.now
+            self._on_view_change(sender, payload)
+            return
+        if isinstance(payload, SignedMessage) and isinstance(payload.body, Unwilling):
+            self._on_unwilling(sender, payload)
+            return
+        if isinstance(payload, SignedMessage) and isinstance(payload.body, NewView):
+            self._on_new_view(sender, payload)
+            return
+        super().handle(sender, payload)
+
+    def verification_service(self, payload: Any, size_bytes: int) -> float:
+        if isinstance(payload, SignedMessage):
+            body = payload.body
+            if isinstance(body, (ViewChange, Unwilling)):
+                return self.verify_cost(1, size_bytes)
+            if isinstance(body, NewView):
+                return self.verify_cost(len(payload.signatures), size_bytes)
+        return super().verification_service(payload, size_bytes)
+
+    def _maybe_recover(self) -> None:
+        if self.status != STATUS_DOWN:
+            return
+        if not (self._status_up_sent and self._counterpart_status_up):
+            return
+        self.status = STATUS_UP
+        self.pair_down = False
+        self.fail_signalled = False
+        self._status_up_sent = False
+        self._counterpart_status_up = False
+        self.recoveries += 1
+        self.last_heard_from_counterpart = self.sim.now
+        self.trace("pair_recovered", pair=self.index)
+        if self.is_coordinating_replica:
+            self._arm_batch_timer()
+        if self.is_coordinating_shadow:
+            self.watch.start()
+
+    # ------------------------------------------------------------------
+    # View changes instead of the SC install part
+    # ------------------------------------------------------------------
+    def _register_fail_signal(self, signed: SignedMessage, rank: int) -> None:
+        self.failed_pairs[rank] = signed  # latest evidence for this pair
+        self.trace("fail_signal_received", pair=rank)
+        if rank == self.c and not self.installing:
+            self._call_view_change(self.view + 1)
+
+    def _call_view_change(self, new_view: int) -> None:
+        if new_view in self._voted_views or new_view <= self.view:
+            return
+        self._voted_views.add(new_view)
+        self.installing = True  # suspend acking of orders, as in IN1
+        self.pending_view = max(self.pending_view or 0, new_view)
+        # Retry timer: if the candidate never installs the view (e.g.
+        # it failed mid-installation without an Unwilling), move on.
+        self.set_timer(self.config.view_timeout, self._view_retry, new_view)
+        body = ViewChange(
+            sender=self.name,
+            view=new_view,
+            max_committed=self.log.max_committed_proof(),
+            uncommitted=self.log.uncommitted_orders(),
+        )
+        signed = self.make_signed(body)
+        self.trace("view_change_sent", view=new_view, size=payload_size(signed))
+        candidate = self.config.scr_candidate_rank(new_view)
+        if self.name in self.config.coordinator_members(candidate):
+            self._note_view_change(signed)
+        self.multicast_payload(self.others, signed)
+
+    def _view_retry(self, target: int) -> None:
+        if self.view < target and self.pending_view is not None:
+            self._call_view_change(max(target, self.pending_view) + 1)
+
+    def _on_view_change(self, sender: str, signed: SignedMessage) -> None:
+        body: ViewChange = signed.body
+        if sender != body.sender or not self.check_signed(signed, (body.sender,)):
+            return
+        if body.view <= self.view:
+            return
+        # Joining the view change (BFT-style: seeing is believing).
+        if body.view not in self._voted_views:
+            self._call_view_change(body.view)
+        self._note_view_change(signed)
+
+    def _note_view_change(self, signed: SignedMessage) -> None:
+        body: ViewChange = signed.body
+        votes = self._view_changes.setdefault(body.view, {})
+        votes[body.sender] = signed
+        candidate = self.config.scr_candidate_rank(body.view)
+        members = self.config.coordinator_members(candidate)
+        if self.name not in members:
+            return
+        if self.status != STATUS_UP:
+            self._send_unwilling(body.view)
+            return
+        if self.name == members[0]:
+            self._maybe_compute_new_view(body.view)
+
+    def _send_unwilling(self, view: int) -> None:
+        """The candidate declines: its pair is not up (Section 4.4)."""
+        if self.my_fail_signal is None:
+            return
+        body = Unwilling(sender=self.name, view=view, fail_signal=self.my_fail_signal)
+        signed = self.make_signed(body)
+        self.trace("unwilling_sent", view=view)
+        self.multicast_payload(self.others, signed)
+
+    def _on_unwilling(self, sender: str, signed: SignedMessage) -> None:
+        body: Unwilling = signed.body
+        if sender != body.sender or not self.check_signed(signed, (body.sender,)):
+            return
+        if fail_signal_pair_rank(self.provider, body.fail_signal) is None:
+            return
+        candidate = self.config.scr_candidate_rank(body.view)
+        members = self.config.coordinator_members(candidate)
+        if body.sender not in members:
+            return
+        if body.view <= self.view:
+            return
+        # Echo to the pair, then move to the next view immediately
+        # (non-coordinator processes do not wait on a timeout here).
+        for member in members:
+            if member != sender:
+                self.send_payload(member, signed)
+        self.trace("unwilling_received", view=body.view)
+        self._call_view_change(body.view + 1)
+
+    def _maybe_compute_new_view(self, view: int) -> None:
+        if view in self._newview_computed or view <= self.view:
+            return
+        votes = self._view_changes.get(view, {})
+        if len(votes) < self.config.order_quorum:
+            return
+        if self.status != STATUS_UP:
+            self._send_unwilling(view)
+            return
+        self._newview_computed.add(view)
+        chosen = list(votes.values())[: self.config.order_quorum]
+        views_data: list[BacklogView] = []
+        n_verifies = 0
+        total_bytes = 0
+        for signed in chosen:
+            vc: ViewChange = signed.body
+            total_bytes += payload_size(signed)
+            if vc.max_committed is not None:
+                n_verifies += len(vc.max_committed.order.signatures)
+                n_verifies += len(vc.max_committed.acks)
+            for order in vc.uncommitted:
+                n_verifies += len(order.signatures)
+            views_data.append(
+                BacklogView(
+                    sender=vc.sender,
+                    max_committed=vc.max_committed,
+                    uncommitted=vc.uncommitted,
+                )
+            )
+        self.charge(n_verifies * self.cost.verify)
+        self.charge(self.cal.backlog_compute_per_kb * (total_bytes / 1024.0))
+        result = compute_new_backlog(views_data, self.config.f)
+        new_backlog = result.new_backlog
+        if result.base_proof is not None:
+            new_backlog = (result.base_proof.order, *new_backlog)
+        candidate = self.config.scr_candidate_rank(view)
+        body = NewView(
+            view=view,
+            new_rank=candidate,
+            start_seq=result.start_seq,
+            new_backlog=new_backlog,
+        )
+        signed_nv = self.make_signed(body)
+        self.trace("new_view_computed", view=view, start_seq=result.start_seq)
+        self.send_pair(
+            self.counterpart,
+            PairStartProposal(start=signed_nv, backlogs=tuple(chosen)),
+        )
+        self.expect.expect(
+            ("endorse-newview", view),
+            self._endorse_deadline() + self._proposal_allowance(chosen),
+        )
+
+    def _on_pair_start_proposal(self, sender: str, proposal: PairStartProposal) -> None:
+        """The candidate shadow endorses the NewView (pair endorsement
+        replaces BFT's per-replica proof checking)."""
+        if sender != self.counterpart or self.pair_down:
+            return
+        body = proposal.start.body
+        if not isinstance(body, NewView):
+            return
+        if not self.check_signed(proposal.start, (self.counterpart,)):
+            self._value_domain_failure("bad signature on NewView proposal")
+            return
+        provided: list[BacklogView] = []
+        n_verifies = 0
+        ok = True
+        for signed in proposal.backlogs:
+            vc = signed.body
+            if not isinstance(vc, ViewChange) or not self.check_signed(signed, (vc.sender,)):
+                ok = False
+                break
+            if vc.max_committed is not None:
+                n_verifies += len(vc.max_committed.order.signatures) + len(vc.max_committed.acks)
+            n_verifies += sum(len(o.signatures) for o in vc.uncommitted)
+            provided.append(
+                BacklogView(
+                    sender=vc.sender,
+                    max_committed=vc.max_committed,
+                    uncommitted=vc.uncommitted,
+                )
+            )
+        if ok:
+            self.charge(n_verifies * self.cost.verify)
+            own = [
+                BacklogView(
+                    sender=s.body.sender,
+                    max_committed=s.body.max_committed,
+                    uncommitted=s.body.uncommitted,
+                )
+                for s in self._view_changes.get(body.view, {}).values()
+            ]
+            ok = verify_start_against_backlogs(
+                self._strip_base(body.new_backlog, provided),
+                body.start_seq,
+                provided,
+                own,
+                self.config.f,
+            )
+        if not ok:
+            self._value_domain_failure("NewView fails recomputation check")
+            return
+        doubly = self.make_countersigned(proposal.start)
+        self.trace(
+            "failover_complete", target=body.new_rank, view=body.view,
+            start_seq=body.start_seq,
+        )
+        self.multicast_payload(self.others, doubly)
+        self._adopt_new_view(doubly)
+
+    def _on_new_view(self, sender: str, signed: SignedMessage) -> None:
+        body: NewView = signed.body
+        if body.view <= self.view:
+            return
+        members = self.config.coordinator_members(body.new_rank)
+        if tuple(signed.signers) != members or not self.check_signed(signed, members):
+            return
+        if self.paired and sender == self.counterpart:
+            self.expect.fulfil(("endorse-newview", body.view))
+        self._adopt_new_view(signed)
+
+    def _adopt_new_view(self, signed: SignedMessage) -> None:
+        """Install the view; the NewView commits via the normal part."""
+        body: NewView = signed.body
+        if body.view <= self.view:
+            return
+        self.view = body.view
+        self.c = body.new_rank
+        self.installing = False
+        self.pending_view = None
+        self.pending_start = signed
+        self.installed_ranks.append(body.new_rank)
+        self.trace("view_installed", view=body.view, rank=body.new_rank)
+        self.log.drop_uncommitted_from(body.start_seq)
+        self.next_expected = min(self.next_expected, body.start_seq)
+        for signed_order in body.new_backlog:
+            self.log.force_commit(signed_order, self.sim.now)
+        self._request_catchup_if_needed_nv(body)
+        pseudo = make_install_batch(signed, self.config.scheme.digest)
+        pseudo_signed = SignedMessage(body=pseudo, signatures=signed.signatures)
+        self.next_expected = max(self.next_expected, body.start_seq)
+        self._process_order(pseudo_signed)
+        self._execute_ready()
+        if self.is_coordinating_replica:
+            self.next_assign_seq = body.start_seq + 1
+            self._rebuild_unordered()
+            self._arm_batch_timer()
+        if self.is_coordinating_shadow:
+            self.next_endorse_seq = body.start_seq + 1
+            self.watch.start()
+        replay, self._future_orders = self._future_orders, []
+        for sender, order in replay:
+            self._on_order(sender, order)
+
+    def _request_catchup_if_needed_nv(self, body: NewView) -> None:
+        if not body.new_backlog:
+            return
+        first_batch: OrderBatch = body.new_backlog[0].body
+        missing_up_to = first_batch.first_seq - 1
+        if self._exec_next > missing_up_to:
+            return
+        span = (self._exec_next, missing_up_to)
+        if span in self._catchup_requested:
+            return
+        self._catchup_requested.add(span)
+        from repro.core.messages import CatchUpRequest
+
+        self.multicast_payload(self.others, CatchUpRequest(self.name, span[0], span[1]))
+
+    # In SCR the pseudo batch for a NewView carries client
+    # INSTALL_CLIENT and rank == candidate; _matches_pending_start
+    # compares against the held NewView, inherited unchanged.

@@ -1,0 +1,48 @@
+"""Digest registry.
+
+``digest(name, data)`` dispatches to the from-scratch implementations
+(:mod:`repro.crypto.md5`, :mod:`repro.crypto.sha1`).  Passing
+``use_stdlib=True`` switches to :mod:`hashlib` — bit-identical output
+(tested), useful when hashing megabytes in property tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.md5 import md5
+from repro.crypto.sha1 import sha1
+from repro.errors import CryptoError
+
+_SIZES = {"md5": 16, "sha1": 20, "none": 8}
+
+
+def digest(name: str, data: bytes, use_stdlib: bool = False) -> bytes:
+    """Compute the named digest of ``data``.
+
+    ``"none"`` is the degenerate digest used by the crash-tolerant (CT)
+    baseline, which the paper runs without cryptographic techniques: a
+    truncated non-cryptographic fingerprint that still lets replicas
+    match requests to orders.
+    """
+    if name == "md5":
+        if use_stdlib:
+            return hashlib.md5(data).digest()
+        return md5(data)
+    if name == "sha1":
+        if use_stdlib:
+            return hashlib.sha1(data).digest()
+        return sha1(data)
+    if name == "none":
+        # Non-cryptographic: good enough to identify requests among
+        # non-malicious peers, which is all CT assumes.
+        return hashlib.blake2b(data, digest_size=8).digest()
+    raise CryptoError(f"unknown digest {name!r}")
+
+
+def digest_size(name: str) -> int:
+    """Digest length in bytes for wire-size accounting."""
+    try:
+        return _SIZES[name]
+    except KeyError:
+        raise CryptoError(f"unknown digest {name!r}") from None

@@ -1,0 +1,123 @@
+"""DSA signatures (FIPS 186 style), from scratch.
+
+Domain-parameter generation, key generation, deterministic-nonce
+signing and verification.  The nonce ``k`` is derived from the private
+key and the message digest (in the spirit of RFC 6979) so that signing
+is reproducible and never reuses a nonce across distinct messages — the
+classic DSA foot-gun.
+
+Verification costs two modular exponentiations against signing's one;
+that asymmetry (slow verify, comparable sign) is exactly why the paper
+concludes "DSA is generally not suited for Byzantine order protocols".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.crypto.digests import digest
+from repro.crypto.keys import DsaKeyPair, DsaParameters, DsaPublicKey
+from repro.crypto.numtheory import generate_prime, is_probable_prime, modinv
+from repro.errors import CryptoError
+
+
+def generate_parameters(l_bits: int, n_bits: int, rng: random.Random) -> DsaParameters:
+    """Generate DSA domain parameters with ``|p| = l_bits, |q| = n_bits``.
+
+    Draws random ``l_bits`` candidates and rounds them down onto the
+    arithmetic progression ``p ≡ 1 (mod 2q)`` until a prime appears.
+    """
+    if n_bits >= l_bits:
+        raise CryptoError(f"need n_bits < l_bits, got {n_bits} >= {l_bits}")
+    q = generate_prime(n_bits, rng)
+    two_q = 2 * q
+    while True:
+        x = rng.getrandbits(l_bits) | (1 << (l_bits - 1))
+        p = x - (x % two_q) + 1
+        if p.bit_length() != l_bits:
+            continue
+        if not is_probable_prime(p, rng):
+            continue
+        exponent = (p - 1) // q
+        for h in range(2, 100):
+            g = pow(h, exponent, p)
+            if g > 1:
+                return DsaParameters(p=p, q=q, g=g)
+
+
+def generate_keypair(params: DsaParameters, rng: random.Random) -> DsaKeyPair:
+    """Generate a DSA key pair under the given domain parameters."""
+    x = rng.randrange(1, params.q)
+    y = pow(params.g, x, params.p)
+    return DsaKeyPair(public=DsaPublicKey(params=params, y=y), x=x)
+
+
+def _digest_int(data: bytes, digest_name: str, q: int) -> int:
+    """Leftmost-bits digest of ``data`` reduced into Z_q (FIPS 186)."""
+    h = digest(digest_name, data)
+    value = int.from_bytes(h, "big")
+    excess = value.bit_length() - q.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _derive_nonce(key: DsaKeyPair, h: int) -> int:
+    """Deterministic per-(key, message) nonce in ``[1, q-1]``."""
+    q = key.public.params.q
+    counter = 0
+    while True:
+        material = (
+            key.x.to_bytes((key.x.bit_length() + 7) // 8 or 1, "big")
+            + h.to_bytes((h.bit_length() + 7) // 8 or 1, "big")
+            + counter.to_bytes(4, "big")
+        )
+        k = int.from_bytes(hashlib.sha256(material).digest(), "big") % q
+        if 1 <= k <= q - 1:
+            return k
+        counter += 1
+
+
+def sign(key: DsaKeyPair, data: bytes, digest_name: str) -> tuple[int, int]:
+    """Sign ``data``; returns the pair ``(r, s)``."""
+    params = key.public.params
+    h = _digest_int(data, digest_name, params.q)
+    k = _derive_nonce(key, h)
+    while True:
+        r = pow(params.g, k, params.p) % params.q
+        if r == 0:
+            k = _derive_nonce(key, h + 1)
+            continue
+        s = (modinv(k, params.q) * (h + key.x * r)) % params.q
+        if s == 0:
+            k = _derive_nonce(key, h + 2)
+            continue
+        return r, s
+
+
+def verify(public: DsaPublicKey, data: bytes, signature: tuple[int, int], digest_name: str) -> bool:
+    """Check a signature pair ``(r, s)``; False on any mismatch."""
+    params = public.params
+    r, s = signature
+    if not (0 < r < params.q and 0 < s < params.q):
+        return False
+    h = _digest_int(data, digest_name, params.q)
+    w = modinv(s, params.q)
+    u1 = (h * w) % params.q
+    u2 = (r * w) % params.q
+    v = ((pow(params.g, u1, params.p) * pow(public.y, u2, params.p)) % params.p) % params.q
+    return v == r
+
+
+def encode_signature(signature: tuple[int, int]) -> bytes:
+    """Fixed-width wire encoding (two 160-bit integers)."""
+    r, s = signature
+    return r.to_bytes(20, "big") + s.to_bytes(20, "big")
+
+
+def decode_signature(blob: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_signature`."""
+    if len(blob) != 40:
+        raise CryptoError(f"DSA signature must be 40 bytes, got {len(blob)}")
+    return int.from_bytes(blob[:20], "big"), int.from_bytes(blob[20:], "big")

@@ -1,0 +1,51 @@
+"""Canonical byte encoding for signing and digesting.
+
+Signatures must cover a deterministic byte string.  ``canonical_bytes``
+maps the message dataclasses (and plain containers) to a stable,
+injective-enough encoding: JSON with sorted keys, where dataclasses are
+tagged with their class name and ``bytes`` values are hex-tagged.  Two
+structurally different messages therefore never encode equally, and the
+encoding of a message never changes across runs or platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.errors import CryptoError
+
+
+def _jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"__dc__": type(value).__name__, **fields}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        converted = {}
+        for key, item in value.items():
+            if not isinstance(key, (str, int)):
+                raise CryptoError(f"unencodable dict key type {type(key).__name__}")
+            converted[str(key)] = _jsonable(item)
+        return converted
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise CryptoError(f"unencodable value of type {type(value).__name__}")
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte encoding of ``value`` for signing/hashing.
+
+    >>> canonical_bytes({"b": 1, "a": 2})
+    b'{"a":2,"b":1}'
+    """
+    return json.dumps(
+        _jsonable(value), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

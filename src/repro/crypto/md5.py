@@ -1,0 +1,80 @@
+"""MD5 message digest, implemented from RFC 1321.
+
+The paper pairs MD5 with RSA for two of its three evaluated crypto
+configurations.  This implementation is pure Python and is verified
+against :mod:`hashlib` by unit and property tests.  (MD5 is long broken
+for collision resistance; we reproduce the paper's 2006 configuration,
+we do not endorse it.)
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+_MASK = 0xFFFFFFFF
+
+_SHIFTS = (
+    [7, 12, 17, 22] * 4
+    + [5, 9, 14, 20] * 4
+    + [4, 11, 16, 23] * 4
+    + [6, 10, 15, 21] * 4
+)
+_SINES = [int(abs(math.sin(i + 1)) * 2**32) & _MASK for i in range(64)]
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _rotl(x: int, c: int) -> int:
+    return ((x << c) | (x >> (32 - c))) & _MASK
+
+
+def _pad(length: int) -> bytes:
+    """MD5 padding for a message of ``length`` bytes."""
+    pad_len = (56 - (length + 1)) % 64
+    return b"\x80" + b"\x00" * pad_len + struct.pack("<Q", (8 * length) & 0xFFFFFFFFFFFFFFFF)
+
+
+def _compress(state: tuple[int, int, int, int], block: bytes) -> tuple[int, int, int, int]:
+    m = struct.unpack("<16I", block)
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | (~d & _MASK))
+            g = (7 * i) % 16
+        f = (f + a + _SINES[i] + m[g]) & _MASK
+        a, d, c = d, c, b
+        b = (b + _rotl(f, _SHIFTS[i])) & _MASK
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+    )
+
+
+def md5(data: bytes) -> bytes:
+    """16-byte MD5 digest of ``data``.
+
+    >>> md5(b"abc").hex()
+    '900150983cd24fb0d6963f7d28e17f72'
+    """
+    message = bytes(data) + _pad(len(data))
+    state = _INIT
+    for offset in range(0, len(message), 64):
+        state = _compress(state, message[offset : offset + 64])
+    return struct.pack("<4I", *state)
+
+
+def md5_hex(data: bytes) -> str:
+    """Hex-encoded MD5 digest."""
+    return md5(data).hex()

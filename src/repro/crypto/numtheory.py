@@ -1,0 +1,128 @@
+"""Number-theoretic primitives for RSA and DSA.
+
+Pure-Python, no external dependencies.  Primality testing uses
+deterministic Miller–Rabin bases for small inputs and random witnesses
+(from a caller-supplied stream) beyond that, so key generation remains
+reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+# Deterministic witness set: correct for every n < 3,317,044,064,679,887,385,961,981
+# (Sorenson & Webster 2015).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g``.
+
+    >>> egcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m``.
+
+    >>> modinv(3, 11)
+    4
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise CryptoError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def _miller_rabin_round(n: int, d: int, r: int, a: int) -> bool:
+    """One Miller–Rabin round; True means "possibly prime"."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 24) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (and exact) below ``_DETERMINISTIC_LIMIT``; otherwise
+    runs the deterministic witnesses plus ``rounds`` random ones.
+
+    >>> is_probable_prime(2**127 - 1)
+    True
+    >>> is_probable_prime(2**127 - 3)
+    False
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _DETERMINISTIC_WITNESSES:
+        if not _miller_rabin_round(n, d, r, a):
+            return False
+    if n < _DETERMINISTIC_LIMIT:
+        return True
+    if rng is None:
+        rng = random.Random(n & 0xFFFFFFFF)  # still deterministic per n
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 2)
+        if not _miller_rabin_round(n, d, r, a):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly ``bits`` bits (top two bits set).
+
+    Forcing the top two bits guarantees that the product of two such
+    primes has exactly twice as many bits, which RSA key generation
+    relies on.
+    """
+    if bits < 8:
+        raise CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def generate_prime_in_range(lo: int, hi: int, rng: random.Random, max_tries: int = 200_000) -> int:
+    """Random prime in ``[lo, hi)``."""
+    if hi <= lo:
+        raise CryptoError(f"empty range [{lo}, {hi})")
+    for _ in range(max_tries):
+        candidate = rng.randrange(lo, hi) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+    raise CryptoError(f"no prime found in [{lo}, {hi}) after {max_tries} tries")

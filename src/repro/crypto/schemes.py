@@ -1,0 +1,68 @@
+"""Crypto scheme descriptors: the paper's three configurations plus CT's none.
+
+Section 5 of the paper evaluates three combinations of digest and
+signature scheme:
+
+* MD5 digests with RSA signatures, 1024-bit keys;
+* MD5 digests with RSA signatures, 1536-bit keys;
+* SHA-1 digests with DSA signatures, 1024-bit keys.
+
+The crash-tolerant baseline (CT) runs with no cryptography at all,
+represented by :data:`PLAIN`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class CryptoScheme:
+    """A digest + signature configuration.
+
+    ``signature_bytes`` is the wire size of one signature and feeds the
+    message-size accounting (RSA signatures are as long as the modulus;
+    DSA signatures are two 160-bit integers).
+    """
+
+    name: str
+    digest: str
+    signature: str
+    key_bits: int
+
+    @property
+    def signature_bytes(self) -> int:
+        if self.signature == "rsa":
+            return self.key_bits // 8
+        if self.signature == "dsa":
+            return 40
+        if self.signature == "none":
+            return 0
+        raise CryptoError(f"unknown signature algorithm {self.signature!r}")
+
+
+MD5_RSA_1024 = CryptoScheme("md5-rsa1024", "md5", "rsa", 1024)
+MD5_RSA_1536 = CryptoScheme("md5-rsa1536", "md5", "rsa", 1536)
+SHA1_DSA_1024 = CryptoScheme("sha1-dsa1024", "sha1", "dsa", 1024)
+PLAIN = CryptoScheme("plain", "none", "none", 0)
+
+#: The three schemes of Figures 4-6, in the paper's presentation order.
+PAPER_SCHEMES = (MD5_RSA_1024, MD5_RSA_1536, SHA1_DSA_1024)
+
+_BY_NAME = {s.name: s for s in (*PAPER_SCHEMES, PLAIN)}
+
+
+def scheme_by_name(name: str) -> CryptoScheme:
+    """Look up a scheme by its registry name.
+
+    >>> scheme_by_name("md5-rsa1024").key_bits
+    1024
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise CryptoError(
+            f"unknown scheme {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

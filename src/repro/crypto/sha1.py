@@ -1,0 +1,63 @@
+"""SHA-1 message digest, implemented from FIPS 180-1.
+
+The paper pairs SHA-1 with DSA for its third crypto configuration.
+Verified against :mod:`hashlib` by unit and property tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+
+
+def _rotl(x: int, c: int) -> int:
+    return ((x << c) | (x >> (32 - c))) & _MASK
+
+
+def _pad(length: int) -> bytes:
+    pad_len = (56 - (length + 1)) % 64
+    return b"\x80" + b"\x00" * pad_len + struct.pack(">Q", 8 * length)
+
+
+def _compress(state: tuple[int, ...], block: bytes) -> tuple[int, ...]:
+    w = list(struct.unpack(">16I", block))
+    for i in range(16, 80):
+        w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+    a, b, c, d, e = state
+    for i in range(80):
+        if i < 20:
+            f = (b & c) | (~b & d & _MASK)
+            k = 0x5A827999
+        elif i < 40:
+            f = b ^ c ^ d
+            k = 0x6ED9EBA1
+        elif i < 60:
+            f = (b & c) | (b & d) | (c & d)
+            k = 0x8F1BBCDC
+        else:
+            f = b ^ c ^ d
+            k = 0xCA62C1D6
+        temp = (_rotl(a, 5) + (f & _MASK) + e + k + w[i]) & _MASK
+        e, d, c, b, a = d, c, _rotl(b, 30), a, temp
+    return tuple((s + v) & _MASK for s, v in zip(state, (a, b, c, d, e)))
+
+
+def sha1(data: bytes) -> bytes:
+    """20-byte SHA-1 digest of ``data``.
+
+    >>> sha1(b"abc").hex()
+    'a9993e364706816aba3e25717850c26c9cd0d89d'
+    """
+    message = bytes(data) + _pad(len(data))
+    state = _INIT
+    for offset in range(0, len(message), 64):
+        state = _compress(state, message[offset : offset + 64])
+    return struct.pack(">5I", *state)
+
+
+def sha1_hex(data: bytes) -> str:
+    """Hex-encoded SHA-1 digest."""
+    return sha1(data).hex()

@@ -1,0 +1,83 @@
+"""Signed-message wrapper: single and sequential (doubly-) signatures.
+
+The paper's **doubly-signed** construction (Section 3): signature ``i``
+covers the canonical bytes of ``(body, signatures[0..i-1])``, so a
+countersignature vouches for both the content and the signature(s)
+before it.  The trusted dealer, the order protocols and the BFT
+baseline all share this wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.encoding import canonical_bytes
+from repro.crypto.signing import Signature, SignatureProvider
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A body plus one or more signatures applied in sequence."""
+
+    body: Any
+    signatures: tuple[Signature, ...]
+
+    @property
+    def signers(self) -> tuple[str, ...]:
+        return tuple(sig.signer for sig in self.signatures)
+
+    @property
+    def signature_bytes(self) -> int:
+        return sum(sig.size_bytes for sig in self.signatures)
+
+
+def signing_bytes(body: Any, prior: tuple[Signature, ...]) -> bytes:
+    """Canonical bytes covered by the next signature over ``body``."""
+    return canonical_bytes(
+        {"body": body, "prior": [(s.signer, s.value) for s in prior]}
+    )
+
+
+def sign_message(provider: SignatureProvider, signer: str, body: Any) -> SignedMessage:
+    """Create a singly-signed message."""
+    signature = provider.sign(signer, signing_bytes(body, ()))
+    return SignedMessage(body=body, signatures=(signature,))
+
+
+def countersign(provider: SignatureProvider, signer: str, message: SignedMessage) -> SignedMessage:
+    """Add the next signature in sequence (endorsement)."""
+    signature = provider.sign(signer, signing_bytes(message.body, message.signatures))
+    return SignedMessage(body=message.body, signatures=(*message.signatures, signature))
+
+
+def verify_signed(
+    provider: SignatureProvider,
+    message: SignedMessage,
+    expected_signers: tuple[str, ...] | None = None,
+) -> bool:
+    """Check every signature in sequence.
+
+    ``expected_signers``, when given, must match the signature chain
+    exactly — used to pin a doubly-signed order to a specific pair.
+    """
+    if expected_signers is not None and message.signers != tuple(expected_signers):
+        return False
+    for i, signature in enumerate(message.signatures):
+        data = signing_bytes(message.body, message.signatures[:i])
+        if not provider.verify(signature, data, signature.signer):
+            return False
+    return True
+
+
+def require_signed(
+    provider: SignatureProvider,
+    message: SignedMessage,
+    expected_signers: tuple[str, ...] | None = None,
+) -> None:
+    """Raise :class:`VerificationError` unless the chain verifies."""
+    if not verify_signed(provider, message, expected_signers):
+        raise VerificationError(
+            f"signature chain {message.signers} failed verification"
+        )

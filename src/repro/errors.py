@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An experiment or protocol configuration is invalid.
+
+    Raised eagerly at construction time (for example, a Byzantine fault
+    budget ``f`` that does not satisfy ``n = 3f + 1``) so that bad set-ups
+    never reach the simulator.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, running a simulator that
+    has already been stopped, or cancelling an event twice.
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed structurally.
+
+    This covers malformed keys, unsupported schemes and invalid parameter
+    sizes.  A signature that simply fails to verify is *not* an error (it
+    is an expected runtime outcome under Byzantine behaviour) and is
+    reported through boolean verify results instead.
+    """
+
+
+class VerificationError(ReproError):
+    """A message failed an authenticity or well-formedness check.
+
+    Protocol handlers raise this when a message claims an authenticated
+    pedigree that does not hold (for example a "doubly-signed" order whose
+    second signature does not cover the first).  Handlers convert the
+    exception into the protocol-level reaction the paper prescribes
+    (drop, or treat as evidence of a value-domain failure).
+    """
+
+
+class ProtocolError(ReproError):
+    """An order-protocol invariant was violated.
+
+    These indicate a bug in the protocol implementation (or a test
+    deliberately violating preconditions), never expected runtime
+    behaviour: for example committing two different digests at the same
+    sequence number inside a single correct process.
+    """

@@ -1,0 +1,51 @@
+"""Arms fault plans on processes and delay surges on links."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.failures.faults import DelaySurgeFault, FaultPlan
+from repro.net.delay import SurgeableDelay
+from repro.sim.kernel import Simulator
+
+
+class FaultInjector:
+    """Schedules faults into a running simulation.
+
+    Process faults are attached directly (``process.fault = plan``);
+    the process consults the plan's hooks.  Link faults require the
+    link's delay model to be a :class:`SurgeableDelay`.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.injected: list[tuple[str, FaultPlan]] = []
+
+    def inject(self, process: Any, plan: FaultPlan) -> None:
+        """Attach ``plan`` to ``process`` (anything with a ``fault`` slot)."""
+        if not hasattr(process, "fault"):
+            raise ConfigError(f"{process!r} does not accept fault plans")
+        process.fault = plan
+        self.injected.append((getattr(process, "name", repr(process)), plan))
+        self.sim.trace.emit(
+            self.sim.now,
+            "fault_injected",
+            target=getattr(process, "name", "?"),
+            fault=type(plan).__name__,
+            active_from=plan.active_from,
+        )
+
+    def surge_link(self, link: SurgeableDelay, plan: DelaySurgeFault) -> None:
+        """Schedule a delay surge on a (pair) link."""
+        if plan.until <= plan.active_from:
+            raise ConfigError("surge window is empty")
+        link.surge_factor = plan.factor
+        link.add_surge(plan.active_from, plan.until)
+        self.sim.trace.emit(
+            self.sim.now,
+            "surge_injected",
+            start=plan.active_from,
+            end=plan.until,
+            factor=plan.factor,
+        )

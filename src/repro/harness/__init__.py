@@ -1,0 +1,41 @@
+"""Experiment harness: clusters, workloads, metrics and the paper's
+figures.
+
+* :mod:`~repro.harness.cluster` — builds a complete simulated
+  deployment of any protocol (``sc``, ``scr``, ``bft``, ``ct``);
+* :mod:`~repro.harness.workload` — open-loop clients;
+* :mod:`~repro.harness.metrics` — latency / throughput / fail-over
+  extraction from traces;
+* :mod:`~repro.harness.experiments` — one runner per paper artefact
+  (Figure 4, Figure 5, Figure 6, the f = 3 discussion), with a CLI:
+  ``python -m repro.harness.experiments fig4``;
+* :mod:`~repro.harness.report` — plain-text rendering of the series.
+"""
+
+from repro.harness.cluster import Cluster, build_cluster
+from repro.harness.metrics import (
+    LatencyStats,
+    collect_latencies,
+    failover_latency,
+    latency_stats,
+    linear_fit,
+    throughput_per_process,
+)
+from repro.harness.stats import Summary, repeat_order_experiment, summarize
+from repro.harness.workload import OpenLoopWorkload, saturating_rate
+
+__all__ = [
+    "Cluster",
+    "LatencyStats",
+    "OpenLoopWorkload",
+    "Summary",
+    "build_cluster",
+    "collect_latencies",
+    "failover_latency",
+    "latency_stats",
+    "linear_fit",
+    "repeat_order_experiment",
+    "saturating_rate",
+    "summarize",
+    "throughput_per_process",
+]

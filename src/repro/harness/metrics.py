@@ -1,0 +1,177 @@
+"""Metric extraction from simulation traces.
+
+The measured quantities follow the paper's definitions (Section 5):
+
+* **Latency** — "the time interval between the instance the request is
+  batched by the coordinator and the instance the first process
+  commits a sequence number for that request" (waiting-to-be-batched
+  time excluded) → per batch: ``batch_formed`` to the earliest
+  ``order_committed`` with the same (rank, batch id);
+* **Throughput** — "the number of messages committed by an order
+  process per second" → committed requests per process per second over
+  the measurement window;
+* **Fail-over latency** — "the time interval between the moment the
+  current coordinator issues fail-signal and the instance the new
+  coordinator issues a Start message with (f+1) identifier-signature
+  tuples" → ``fail_signal_emitted`` to ``failover_complete``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One batch's measured order latency."""
+
+    rank: int
+    batch_id: int
+    formed_at: float
+    first_commit_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.first_commit_at - self.formed_at
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Aggregate latency statistics over a measurement window."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "LatencyStats":
+        if not values:
+            raise ConfigError("no latency samples to aggregate")
+        ordered = sorted(values)
+
+        def pct(p: float) -> float:
+            idx = min(len(ordered) - 1, max(0, math.ceil(p * len(ordered)) - 1))
+            return ordered[idx]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=pct(0.50),
+            p95=pct(0.95),
+            maximum=ordered[-1],
+        )
+
+
+def collect_latencies(trace: Tracer) -> list[LatencySample]:
+    """Pair each ``batch_formed`` with its earliest commit anywhere."""
+    formed: dict[tuple[int, int], float] = {}
+    for record in trace.of_kind("batch_formed"):
+        key = (record.fields["rank"], record.fields["batch_id"])
+        formed.setdefault(key, record.time)
+    first_commit: dict[tuple[int, int], float] = {}
+    for record in trace.of_kind("order_committed"):
+        key = (record.fields["rank"], record.fields["batch_id"])
+        if key not in first_commit or record.time < first_commit[key]:
+            first_commit[key] = record.time
+    samples = [
+        LatencySample(rank=key[0], batch_id=key[1], formed_at=t0,
+                      first_commit_at=first_commit[key])
+        for key, t0 in formed.items()
+        if key in first_commit
+    ]
+    samples.sort(key=lambda s: s.formed_at)
+    return samples
+
+
+def latency_stats(
+    samples: list[LatencySample], skip_first: int = 0, cap: int | None = None
+) -> LatencyStats:
+    """Aggregate, optionally discarding warm-up batches."""
+    window = samples[skip_first:]
+    if cap is not None:
+        window = window[:cap]
+    return LatencyStats.from_values([s.latency for s in window])
+
+
+def throughput_per_process(
+    trace: Tracer, window_start: float, window_end: float, process: str | None = None
+) -> float:
+    """Committed requests per second at one process (or averaged).
+
+    ``order_committed`` records carry the committing actor's name and
+    the batch's request count; the paper's throughput is the per-
+    process commit rate, so we count one process's commits (or average
+    the per-process rates when ``process`` is None).
+    """
+    if window_end <= window_start:
+        raise ConfigError("empty throughput window")
+    per_actor: dict[str, int] = {}
+    for record in trace.of_kind("order_committed"):
+        if not window_start <= record.time < window_end:
+            continue
+        actor = record.fields.get("actor", "?")
+        per_actor[actor] = per_actor.get(actor, 0) + record.fields["n_requests"]
+    if not per_actor:
+        return 0.0
+    duration = window_end - window_start
+    if process is not None:
+        return per_actor.get(process, 0) / duration
+    rates = [count / duration for count in per_actor.values()]
+    return sum(rates) / len(rates)
+
+
+def failover_latency(trace: Tracer) -> float:
+    """Fail-signal emission to new-coordinator completion (Section 5)."""
+    signals = trace.of_kind("fail_signal_emitted")
+    completes = trace.of_kind("failover_complete")
+    if not signals or not completes:
+        raise ConfigError("trace contains no complete fail-over episode")
+    t0 = min(record.time for record in signals)
+    t1 = min(record.time for record in completes if record.time >= t0)
+    return t1 - t0
+
+
+def backlog_bytes_observed(trace: Tracer, before: float | None = None) -> float:
+    """Mean BackLog (or ViewChange) wire size seen during fail-over.
+
+    ``before`` restricts the average to one fail-over episode —
+    recovery messages sent after the measured installation (e.g. later
+    view changes) would otherwise dilute the size axis of Figure 6.
+    """
+    records = trace.of_kind("backlog_sent") + trace.of_kind("view_change_sent")
+    sizes = [
+        r.fields["size"]
+        for r in records
+        if "size" in r.fields and (before is None or r.time <= before)
+    ]
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)
+
+
+def linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Least-squares line fit; returns ``(slope, intercept, r²)``.
+
+    Used to check the paper's claim that fail-over latency grows
+    linearly with BackLog size.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ConfigError("need at least two points for a fit")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0:
+        raise ConfigError("degenerate fit: all x equal")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    r2 = 1.0 if syy == 0 else (sxy * sxy) / (sxx * syy)
+    return slope, intercept, r2

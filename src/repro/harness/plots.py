@@ -1,0 +1,82 @@
+"""ASCII plotting for experiment series.
+
+The paper presents Figures 4–6 as line plots (latency on a log axis);
+the CLI renders a terminal approximation so the curve *shapes* —
+flat CT, SC below BFT, saturation blow-ups, Figure 6's straight lines —
+are visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        return (math.log10(value) - math.log10(lo)) / (
+            math.log10(hi) - math.log10(lo)
+        )
+    return (value - lo) / (hi - lo)
+
+
+def ascii_plot(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``oxо+*…``; the legend maps markers
+    back to names.  ``log_y`` mimics the paper's log-scale latency axes.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y and y_lo <= 0:
+        raise ConfigError("log axis needs positive values")
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo * 1.1 if y_lo else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = round(_scale(x, x_lo, x_hi, log=False) * (width - 1))
+            row = round(_scale(y, y_lo, y_hi, log=log_y) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_hi_label = f"{y_hi:.4g}"
+    y_lo_label = f"{y_lo:.4g}"
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_label.rjust(margin - 1)
+        elif i == height - 1:
+            label = y_lo_label.rjust(margin - 1)
+        else:
+            label = " " * (margin - 1)
+        lines.append(f"{label}│{''.join(row)}")
+    lines.append(" " * (margin - 1) + "└" + "─" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * margin + x_axis)
+    axis_note = f"{ylabel}{' (log)' if log_y else ''} vs {xlabel}"
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{axis_note}   legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment output (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A fixed-width table with a title line."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [title, "=" * len(title), fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    series: dict[str, list[tuple[float, float]]],
+) -> str:
+    """Several (x, y) series sharing an x axis, as one table.
+
+    The x values are taken from the union of all series; missing points
+    render as '-'.
+    """
+    xs = sorted({x for points in series.values() for x, _ in points})
+    labels = list(series)
+    headers = [xlabel] + [f"{label} {ylabel}" for label in labels]
+    lookup = {
+        label: {x: y for x, y in points} for label, points in series.items()
+    }
+    rows = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            y = lookup[label].get(x)
+            row.append("-" if y is None else f"{y:.2f}")
+        rows.append(row)
+    return render_table(title, headers, rows)

@@ -1,0 +1,73 @@
+"""Client workloads.
+
+The paper's clients "direct their requests to all nodes"; latency is
+measured from *batch formation*, so the workload's job is simply to
+keep the coordinator's batches populated at the desired pressure.
+:class:`OpenLoopWorkload` issues requests at a fixed aggregate rate
+with exponential (Poisson) or uniform spacing, split round-robin over
+the cluster's clients.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.harness.cluster import Cluster
+
+
+def saturating_rate(batch_size_bytes: int, request_bytes: int, batching_interval: float,
+                    headroom: float = 1.3) -> float:
+    """Aggregate request rate that keeps every batch full.
+
+    A batch carries at most ``batch_size_bytes / request_bytes``
+    requests and one batch forms per ``batching_interval``; the
+    headroom factor keeps the unordered queue non-empty despite
+    arrival jitter.
+    """
+    per_batch = max(1, batch_size_bytes // request_bytes)
+    return headroom * per_batch / batching_interval
+
+
+class OpenLoopWorkload:
+    """Issues requests at ``rate`` per second for ``duration`` seconds."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rate: float,
+        duration: float,
+        start: float = 0.0,
+        spacing: str = "poisson",
+    ) -> None:
+        if rate <= 0 or duration <= 0:
+            raise ConfigError("rate and duration must be positive")
+        if spacing not in ("poisson", "uniform"):
+            raise ConfigError(f"unknown spacing {spacing!r}")
+        self.cluster = cluster
+        self.rate = rate
+        self.duration = duration
+        self.start = start
+        self.spacing = spacing
+        self.issued = 0
+
+    def install(self) -> None:
+        """Schedule every arrival up front (deterministic given seed)."""
+        sim = self.cluster.sim
+        rng = sim.rng.stream("workload")
+        clients = self.cluster.clients
+        t = self.start
+        i = 0
+        mean_gap = 1.0 / self.rate
+        while True:
+            if self.spacing == "poisson":
+                t += rng.expovariate(self.rate)
+            else:
+                t += mean_gap
+            if t - self.start >= self.duration:
+                break
+            client = clients[i % len(clients)]
+            sim.schedule_at(t, self._issue, client)
+            i += 1
+
+    def _issue(self, client) -> None:
+        client.issue()
+        self.issued += 1

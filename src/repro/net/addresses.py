@@ -1,0 +1,64 @@
+"""Process naming conventions.
+
+The paper denotes the order process on replica node ``i`` as ``p_i`` and
+the order process on its shadow node as ``p'_i``.  We keep that notation
+almost verbatim in process names:
+
+* ``"p3"`` — the order process on replica node 3;
+* ``"p3'"`` — its shadow (only the first ``f`` — or ``f + 1`` for SCR —
+  replicas have one);
+* ``"c1"`` — a client.
+
+These helpers centralise parsing so no protocol module ever slices
+strings itself.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def replica_name(index: int) -> str:
+    """Name of the order process on replica node ``index`` (1-based)."""
+    if index < 1:
+        raise ConfigError(f"replica index must be >= 1, got {index}")
+    return f"p{index}"
+
+
+def shadow_name(index: int) -> str:
+    """Name of the shadow order process paired with replica ``index``."""
+    if index < 1:
+        raise ConfigError(f"replica index must be >= 1, got {index}")
+    return f"p{index}'"
+
+
+def is_shadow(name: str) -> bool:
+    """True for shadow process names such as ``"p2'"``."""
+    return name.endswith("'")
+
+
+def base_index(name: str) -> int:
+    """Replica index behind a process name (``"p3'" -> 3``)."""
+    body = name.rstrip("'")
+    if not body.startswith("p") or not body[1:].isdigit():
+        raise ConfigError(f"not an order-process name: {name!r}")
+    return int(body[1:])
+
+
+def pair_of(name: str) -> str:
+    """The counterpart process within a pair (``"p3" <-> "p3'"``)."""
+    if is_shadow(name):
+        return replica_name(base_index(name))
+    return shadow_name(base_index(name))
+
+
+def client_name(index: int) -> str:
+    """Name of client ``index`` (1-based)."""
+    if index < 1:
+        raise ConfigError(f"client index must be >= 1, got {index}")
+    return f"c{index}"
+
+
+def is_client(name: str) -> bool:
+    """True for client names such as ``"c2"``."""
+    return name.startswith("c") and name[1:].isdigit()

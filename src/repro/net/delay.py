@@ -1,0 +1,97 @@
+"""Message delay models.
+
+A delay model answers: how long does a message of ``size_bytes`` spend
+in flight on this link?  Models receive the current virtual time so that
+fault injectors can create bounded delay surges (used to provoke the
+false suspicions that distinguish SCR from SC).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+
+
+class DelayModel:
+    """Interface: sample the in-flight time of one message."""
+
+    def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
+        raise NotImplementedError
+
+
+class ConstantDelay(DelayModel):
+    """Fixed delay regardless of size.  Mostly for unit tests.
+
+    >>> ConstantDelay(0.001).sample(10_000, random.Random(0), now=0.0)
+    0.001
+    """
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ConfigError(f"negative delay {delay}")
+        self.delay = delay
+
+    def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
+        return self.delay
+
+
+class LanDelay(DelayModel):
+    """Switched-LAN model: propagation + transmission + uniform jitter.
+
+    ``delay = propagation + size / bandwidth + U(0, jitter)``
+
+    Defaults approximate the paper's 100 Mb/s switched Ethernet:
+    ~0.1 ms propagation/switching, 12.5 MB/s, a few tens of
+    microseconds of jitter.
+    """
+
+    def __init__(
+        self,
+        propagation: float = 100e-6,
+        bandwidth_bytes_per_s: float = 12.5e6,
+        jitter: float = 50e-6,
+    ) -> None:
+        if propagation < 0 or jitter < 0:
+            raise ConfigError("propagation and jitter must be >= 0")
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigError("bandwidth must be > 0")
+        self.propagation = propagation
+        self.bandwidth = bandwidth_bytes_per_s
+        self.jitter = jitter
+
+    def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
+        transmission = size_bytes / self.bandwidth
+        return self.propagation + transmission + rng.uniform(0.0, self.jitter)
+
+
+class SurgeableDelay(DelayModel):
+    """Wraps another model and multiplies delays during surge windows.
+
+    The fault injector uses this to make a pair's delay estimates
+    temporarily inaccurate — the scenario where SCR's eventually-accurate
+    assumption 3(b)(i) differs from SC's always-accurate 3(a)(i).
+    """
+
+    def __init__(self, inner: DelayModel, surge_factor: float = 10.0) -> None:
+        if surge_factor < 1.0:
+            raise ConfigError("surge_factor must be >= 1")
+        self.inner = inner
+        self.surge_factor = surge_factor
+        self._surges: list[tuple[float, float]] = []
+
+    def add_surge(self, start: float, end: float) -> None:
+        """Inflate delays for messages departing in ``[start, end)``."""
+        if end <= start:
+            raise ConfigError(f"empty surge window [{start}, {end})")
+        self._surges.append((start, end))
+
+    def in_surge(self, now: float) -> bool:
+        """True when ``now`` falls inside any registered surge window."""
+        return any(start <= now < end for start, end in self._surges)
+
+    def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
+        base = self.inner.sample(size_bytes, rng, now)
+        if self.in_surge(now):
+            return base * self.surge_factor
+        return base

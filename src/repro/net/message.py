@@ -1,0 +1,29 @@
+"""Message envelopes: what travels on the simulated wire."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload in flight between two named processes.
+
+    ``size_bytes`` is the estimated wire size (payload plus signatures);
+    it drives transmission delay, marshalling cost and the byte counters
+    the message-overhead comparison reads.
+    """
+
+    msg_id: int
+    sender: str
+    dest: str
+    payload: Any
+    size_bytes: int
+    depart_time: float
+    arrive_time: float
+
+    @property
+    def transit_time(self) -> float:
+        """Seconds the message spent in flight."""
+        return self.arrive_time - self.depart_time

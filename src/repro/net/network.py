@@ -1,0 +1,214 @@
+"""The reliable asynchronous network connecting all processes.
+
+Semantics follow the paper's system model: every sent message is
+delivered uncorrupted at its destination after a finite delay with no
+known bound (the delay model decides the actual value).  There is no
+loss, duplication or corruption; Byzantine behaviour lives in the
+*processes*, not the wire.
+
+Delivery pipeline for one message::
+
+    sender actor          network                    receiving node
+    -----------------     ----------------------     -------------------------
+    send(dest, payload,   arrival = depart + delay   service = receive_service
+         size, depart) -> schedule at arrival    ->  done = cpu.submit(service)
+                                                     on_message at `done`
+
+so a burst of arrivals serialises on the receiver's CPU — the mechanism
+behind the saturation regions of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigError, SimulationError
+from repro.net.delay import DelayModel, LanDelay
+from repro.net.message import Envelope
+from repro.sim.kernel import Simulator
+from repro.sim.process import Actor
+
+
+class Network:
+    """Reliable asynchronous message fabric between named actors.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock and RNG the network uses.
+    default_link:
+        Delay model used for any (src, dst) without an override.
+    """
+
+    def __init__(self, sim: Simulator, default_link: DelayModel | None = None) -> None:
+        self.sim = sim
+        self.default_link = default_link if default_link is not None else LanDelay()
+        self._actors: dict[str, Actor] = {}
+        self._links: dict[tuple[str, str], DelayModel] = {}
+        self._taps: list[Callable[[Envelope], None]] = []
+        self._next_msg_id = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Messages that travelled on a dedicated (overridden) link —
+        #: in the paper's architecture, the fast replica-shadow
+        #: connections.  ``messages_sent - pair_messages_sent`` is the
+        #: load on the shared asynchronous network, the quantity the
+        #: paper's message-overhead comparison concerns.
+        self.pair_messages_sent = 0
+        self.messages_by_sender: dict[str, int] = {}
+        self._hold_predicate: Callable[[Envelope], bool] | None = None
+        self._held: list[Envelope] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, actor: Actor) -> None:
+        """Register an actor under its name.  Names must be unique."""
+        if actor.name in self._actors:
+            raise ConfigError(f"duplicate actor name {actor.name!r}")
+        self._actors[actor.name] = actor
+
+    def actor(self, name: str) -> Actor:
+        """Look up a registered actor."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise ConfigError(f"no actor named {name!r}") from None
+
+    def has_actor(self, name: str) -> bool:
+        """True when ``name`` is attached to this network."""
+        return name in self._actors
+
+    @property
+    def names(self) -> list[str]:
+        """All attached actor names, in attachment order."""
+        return list(self._actors)
+
+    def set_link(self, src: str, dst: str, model: DelayModel) -> None:
+        """Override the delay model for the directed link ``src -> dst``."""
+        self._links[(src, dst)] = model
+
+    def link(self, src: str, dst: str) -> DelayModel:
+        """The delay model in force for ``src -> dst``."""
+        return self._links.get((src, dst), self.default_link)
+
+    def tap(self, callback: Callable[[Envelope], None]) -> None:
+        """Observe every envelope as it departs (testing / metrics)."""
+        self._taps.append(callback)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: str,
+        dest: str,
+        payload: Any,
+        size_bytes: int,
+        depart_time: float | None = None,
+    ) -> Envelope:
+        """Send one message; returns the (already scheduled) envelope.
+
+        ``depart_time`` is when the sender's CPU finished marshalling;
+        it defaults to *now* and may not be in the past.
+        """
+        if size_bytes < 0:
+            raise ConfigError(f"negative message size {size_bytes}")
+        if dest not in self._actors:
+            raise ConfigError(f"message to unknown actor {dest!r}")
+        depart = self.sim.now if depart_time is None else depart_time
+        if depart < self.sim.now:
+            raise SimulationError(
+                f"depart_time {depart} is before now {self.sim.now}"
+            )
+        rng = self.sim.rng.stream(f"net/{sender}->{dest}")
+        delay = self.link(sender, dest).sample(size_bytes, rng, depart)
+        envelope = Envelope(
+            msg_id=self._next_msg_id,
+            sender=sender,
+            dest=dest,
+            payload=payload,
+            size_bytes=size_bytes,
+            depart_time=depart,
+            arrive_time=depart + delay,
+        )
+        self._next_msg_id += 1
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if (sender, dest) in self._links:
+            self.pair_messages_sent += 1
+        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
+        for tap in self._taps:
+            tap(envelope)
+        if self._hold_predicate is not None and self._hold_predicate(envelope):
+            self._held.append(envelope)
+        else:
+            self.sim.schedule_at(envelope.arrive_time, self._deliver, envelope)
+        return envelope
+
+    # ------------------------------------------------------------------
+    # Experiment control: deferred delivery
+    # ------------------------------------------------------------------
+    def hold_matching(self, predicate: Callable[[Envelope], bool]) -> None:
+        """Defer delivery of envelopes matching ``predicate``.
+
+        The network stays *reliable*: held messages are delivered when
+        :meth:`release_held` runs.  Experiments use this to age traffic
+        (e.g. delaying acks so acked-but-uncommitted orders accumulate
+        into BackLogs of a target size for the Figure 6 measurements);
+        it models a transient delay spike on the asynchronous network,
+        which the system model explicitly permits.
+        """
+        self._hold_predicate = predicate
+
+    def release_held(self) -> None:
+        """Deliver everything held and stop holding."""
+        self._hold_predicate = None
+        held, self._held = self._held, []
+        for envelope in held:
+            deliver_at = max(envelope.arrive_time, self.sim.now)
+            self.sim.schedule_at(deliver_at, self._deliver, envelope)
+
+    @property
+    def held_count(self) -> int:
+        """Number of envelopes currently held."""
+        return len(self._held)
+
+    def multicast(
+        self,
+        sender: str,
+        dests: Iterable[str],
+        payload: Any,
+        size_bytes: int,
+        depart_time: float | None = None,
+    ) -> list[Envelope]:
+        """Send the same payload to several destinations.
+
+        Each copy is an independent unicast (the paper's implementation
+        uses point-to-point TCP, not IP multicast), so each samples its
+        own delay and counts toward the message totals.
+        """
+        return [
+            self.send(sender, dest, payload, size_bytes, depart_time)
+            for dest in dests
+        ]
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        actor = self._actors.get(envelope.dest)
+        if actor is None:  # actor detached mid-flight; drop silently
+            return
+        service = actor.receive_service(envelope.payload, envelope.size_bytes)
+        if service <= 0.0:
+            # Zero-service messages model interrupt-level handling
+            # (heartbeats, keepalives): they do not queue behind the
+            # node's protocol work.
+            self._dispatch(actor, envelope)
+            return
+        done = actor.cpu.submit(service)
+        self.sim.schedule_at(done, self._dispatch, actor, envelope)
+
+    def _dispatch(self, actor: Actor, envelope: Envelope) -> None:
+        actor.on_message(envelope.sender, envelope.payload)

@@ -1,0 +1,33 @@
+"""The fast reliable link inside a process pair.
+
+The paper connects each replica node to its shadow "by a fast reliable
+network" and uses Java RMI across it.  We model it as a LAN link with
+lower propagation delay and negligible jitter; RMI's per-call CPU
+overhead is part of the calibration profile, not the link.
+"""
+
+from __future__ import annotations
+
+from repro.net.delay import DelayModel, LanDelay
+from repro.net.network import Network
+
+
+def default_pair_link() -> LanDelay:
+    """Delay model for the dedicated replica-shadow connection."""
+    return LanDelay(propagation=40e-6, bandwidth_bytes_per_s=12.5e6, jitter=10e-6)
+
+
+def connect_pair(
+    network: Network,
+    first: str,
+    second: str,
+    model: DelayModel | None = None,
+) -> DelayModel:
+    """Install a fast link in both directions between two processes.
+
+    Returns the model so fault injectors can wrap or inspect it.
+    """
+    link = model if model is not None else default_pair_link()
+    network.set_link(first, second, link)
+    network.set_link(second, first, link)
+    return link

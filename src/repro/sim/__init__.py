@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate that replaces the paper's 15-machine LAN
+testbed.  It provides:
+
+* :class:`~repro.sim.kernel.Simulator` — a virtual clock and event loop
+  with deterministic tie-breaking;
+* :class:`~repro.sim.cpu.Cpu` — a per-node serial processor model that
+  charges service time for marshalling and cryptographic work, producing
+  the queueing (saturation) behaviour Figures 4 and 5 of the paper
+  depend on;
+* :class:`~repro.sim.process.Actor` — the base class for simulated
+  processes;
+* :class:`~repro.sim.rng.RngRegistry` — named, independently seeded
+  random streams so experiments are reproducible;
+* :class:`~repro.sim.trace.Tracer` — structured trace capture used by
+  tests and the experiment harness.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.cpu import Cpu
+from repro.sim.process import Actor
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Actor",
+    "Cpu",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "Simulator",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,91 @@
+"""Event objects and the pending-event queue.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+monotonically increasing insertion counter.  Two events scheduled for the
+same instant therefore fire in the order they were scheduled, which makes
+whole simulations deterministic functions of their seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A callback scheduled to run at a virtual time.
+
+    Instances are created by the simulator; user code only holds them to
+    :meth:`cancel` timers.  A cancelled event stays in the heap but is
+    skipped when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is an error."""
+        if self.cancelled:
+            raise SimulationError(f"event at t={self.time} cancelled twice")
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "active"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> Event:
+        """Insert a callback to run at ``time`` and return its handle."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

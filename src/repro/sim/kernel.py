@@ -1,0 +1,124 @@
+"""The simulator: a virtual clock driving an event queue.
+
+All times are floats in **seconds** of virtual time.  The kernel knows
+nothing about networks, CPUs or protocols; those layers schedule plain
+callbacks.  Determinism rests on two properties:
+
+* ties in firing time break by insertion order (see ``repro.sim.events``);
+* all randomness flows through :class:`~repro.sim.rng.RngRegistry`
+  streams derived from the simulation seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Discrete-event simulator with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for every random stream used in the simulation.
+    trace:
+        Optional :class:`Tracer`; a fresh one is created when omitted.
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(2.5, fired.append, "later")
+    >>> _ = sim.schedule(1.0, fired.append, "sooner")
+    >>> sim.run()
+    >>> fired
+    ['sooner', 'later']
+    >>> sim.now
+    2.5
+    """
+
+    def __init__(self, seed: int = 0, trace: Tracer | None = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Tracer()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}: clock already at t={self._now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def stop(self) -> None:
+        """Halt the run loop after the current event completes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue drains or a limit is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  The clock is left
+            at ``until`` (if given) so repeated ``run(until=...)`` calls
+            advance monotonically.
+        max_events:
+            Safety valve for tests; raise if more events than this fire.
+        """
+        if self._running:
+            raise SimulationError("simulator run() re-entered")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                self.events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain every pending event (bounded by ``max_events``)."""
+        self.run(until=None, max_events=max_events)

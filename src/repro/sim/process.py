@@ -1,0 +1,70 @@
+"""Actor base class for simulated processes.
+
+An :class:`Actor` is anything that lives on a simulated node: an order
+process, a client, a fault injector.  It owns (or shares) a
+:class:`~repro.sim.cpu.Cpu`, can charge CPU work, set timers and receive
+messages.  The network layer (``repro.net``) calls :meth:`on_message`
+after queueing the message's processing cost on the actor's CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.cpu import Cpu
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Actor:
+    """Base class for simulated processes.
+
+    Subclasses override :meth:`on_message` (required for anything
+    reachable over the network) and optionally :meth:`receive_service`
+    to declare how much CPU time processing a given message costs —
+    typically unmarshalling plus the signature verifications the
+    protocol performs on that message type.
+    """
+
+    def __init__(self, sim: Simulator, name: str, cpu: Cpu | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpu = cpu if cpu is not None else Cpu(sim, name=f"{name}.cpu")
+
+    # ------------------------------------------------------------------
+    # CPU and timer helpers
+    # ------------------------------------------------------------------
+    def charge(self, seconds: float) -> float:
+        """Charge CPU work; return the virtual time at which it completes."""
+        return self.cpu.submit(seconds)
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds; returns a handle.
+
+        Timers fire on the simulator clock regardless of CPU backlog —
+        they model alarm interrupts, not queued work.  A handler that
+        needs CPU time charges it explicitly when it runs.
+        """
+        return self.sim.schedule(delay, callback, *args)
+
+    def trace(self, kind: str, **fields: Any) -> None:
+        """Emit a trace record stamped with this actor's name."""
+        self.sim.trace.emit(self.sim.now, kind, actor=self.name, **fields)
+
+    # ------------------------------------------------------------------
+    # Message reception interface (driven by repro.net)
+    # ------------------------------------------------------------------
+    def receive_service(self, payload: Any, size_bytes: int) -> float:
+        """CPU seconds needed before :meth:`on_message` may run.
+
+        The default is free; protocol actors return unmarshalling plus
+        verification costs from the calibrated cost model.
+        """
+        return 0.0
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        """Handle a delivered message.  Runs after its service completes."""
+        raise NotImplementedError(f"{type(self).__name__} does not receive messages")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

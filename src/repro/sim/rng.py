@@ -1,0 +1,44 @@
+"""Named, independently seeded random streams.
+
+Every source of randomness in a simulation (network jitter, workload
+arrivals, fault timing, ...) pulls from its own named stream.  Streams
+are derived from the master seed with SHA-256 so that adding a new
+stream never perturbs the values drawn by existing ones — experiments
+stay comparable across library versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory of deterministic :class:`random.Random` streams.
+
+    >>> reg = RngRegistry(42)
+    >>> a1 = reg.stream("net").random()
+    >>> a2 = RngRegistry(42).stream("net").random()
+    >>> a1 == a2
+    True
+    >>> reg.stream("net") is reg.stream("net")
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            digest = hashlib.sha256(f"{self.seed}/{name}".encode("utf-8")).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a child registry whose streams are independent of ours."""
+        digest = hashlib.sha256(f"{self.seed}//{name}".encode("utf-8")).digest()
+        return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,74 @@
+"""Structured trace capture.
+
+Protocol code emits trace records (message sends, commits, fail-signals,
+view changes...).  Tests assert on them; the experiment harness derives
+latency and throughput metrics from them; and two runs with equal seeds
+must produce byte-identical traces, which is itself a tested invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: a timestamp, a kind tag and free-form fields."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialise for golden-file comparisons (sorted keys)."""
+        payload = {"time": round(self.time, 9), "kind": self.kind, **self.fields}
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered.
+
+    Parameters
+    ----------
+    keep:
+        Predicate deciding whether a record is retained.  Defaults to
+        keeping everything; experiments narrow this to the kinds they
+        measure so long runs stay memory-bounded.
+    """
+
+    def __init__(self, keep: Callable[[TraceRecord], bool] | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self._keep = keep
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event (subject to the ``keep`` filter)."""
+        record = TraceRecord(time, kind, fields)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        if self._keep is None or self._keep(record):
+            self.records.append(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every record, even filtered ones."""
+        self._subscribers.append(callback)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All retained records with the given kind tag."""
+        return [r for r in self.records if r.kind == kind]
+
+    def kinds(self) -> set[str]:
+        """Set of kind tags seen among retained records."""
+        return {r.kind for r in self.records}
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_jsonl(self) -> str:
+        """Whole trace as JSON lines (used for determinism checks)."""
+        return "\n".join(record.to_json() for record in self.records)

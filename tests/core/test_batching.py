@@ -1,0 +1,71 @@
+"""Unit tests for the batcher."""
+
+import pytest
+
+from repro.core.batching import Batcher
+from repro.core.requests import ClientRequest
+from repro.errors import ConfigError
+
+
+def reqs(sizes):
+    return [
+        ClientRequest("c1", i + 1, size_bytes=size) for i, size in enumerate(sizes)
+    ]
+
+
+def test_take_respects_size_cap():
+    batcher = Batcher(batch_size_bytes=200)
+    taken = batcher.take(reqs([64, 64, 64, 64]))
+    assert len(taken) == 3  # 192 <= 200 < 256
+
+
+def test_take_preserves_fifo_order():
+    batcher = Batcher(batch_size_bytes=1000)
+    pending = reqs([64, 64])
+    taken = batcher.take(pending)
+    assert [r.req_id for r in taken] == [1, 2]
+
+
+def test_take_always_takes_one_oversized_request():
+    batcher = Batcher(batch_size_bytes=100)
+    taken = batcher.take(reqs([500, 64]))
+    assert len(taken) == 1
+
+
+def test_take_empty_pending():
+    assert Batcher(100).take([]) == []
+
+
+def test_make_batch_assigns_consecutive_seqs():
+    batcher = Batcher(1024)
+    requests = reqs([64, 64, 64])
+    batch = batcher.make_batch(rank=1, batch_id=7, first_seq=10,
+                               requests=requests, digest_name="md5")
+    assert [e.seq for e in batch.entries] == [10, 11, 12]
+    assert batch.first_seq == 10 and batch.last_seq == 12
+    assert batch.batch_id == 7 and batch.rank == 1
+
+
+def test_make_batch_digests_match_requests():
+    batcher = Batcher(1024)
+    requests = reqs([64])
+    batch = batcher.make_batch(1, 1, 1, requests, "md5")
+    assert batch.entries[0].req_digest == requests[0].digest_under("md5")
+    assert batch.entries[0].client == "c1"
+
+
+def test_make_batch_rejects_empty():
+    with pytest.raises(ConfigError):
+        Batcher(1024).make_batch(1, 1, 1, [], "md5")
+
+
+def test_invalid_cap_rejected():
+    with pytest.raises(ConfigError):
+        Batcher(0)
+
+
+def test_paper_batch_capacity():
+    """1 KB cap with 64-byte requests -> 16 requests per batch."""
+    batcher = Batcher(1024)
+    taken = batcher.take(reqs([64] * 30))
+    assert len(taken) == 16

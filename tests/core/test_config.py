@@ -1,0 +1,88 @@
+"""Unit tests for protocol configuration structure."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.errors import ConfigError
+
+
+def test_sc_structure_is_3f_plus_1():
+    config = ProtocolConfig(f=2)
+    assert config.replica_count == 5
+    assert config.pair_count == 2
+    assert config.n == 7  # 3f + 1
+    assert config.order_quorum == 5  # n - f
+
+
+def test_scr_structure_is_3f_plus_2():
+    config = ProtocolConfig(f=2, variant="scr")
+    assert config.pair_count == 3  # f + 1 pairs
+    assert config.n == 8  # 3f + 2
+    assert config.order_quorum == 6
+
+
+def test_process_names_layout():
+    config = ProtocolConfig(f=1)
+    assert config.replica_names == ("p1", "p2", "p3")
+    assert config.shadow_names == ("p1'",)
+    assert config.process_names == ("p1", "p2", "p3", "p1'")
+
+
+def test_coordinator_members_sc():
+    config = ProtocolConfig(f=2)
+    assert config.coordinator_members(1) == ("p1", "p1'")
+    assert config.coordinator_members(2) == ("p2", "p2'")
+    # The (f+1)-th candidate is the unpaired process.
+    assert config.coordinator_members(3) == ("p3",)
+    with pytest.raises(ConfigError):
+        config.coordinator_members(4)
+
+
+def test_coordinator_members_scr_all_pairs():
+    config = ProtocolConfig(f=2, variant="scr")
+    for rank in (1, 2, 3):
+        assert len(config.coordinator_members(rank)) == 2
+
+
+def test_scr_candidate_rank_wraps():
+    config = ProtocolConfig(f=2, variant="scr")
+    # paper: c = v mod (f+1), with c = f+1 when residue is 0
+    assert config.scr_candidate_rank(1) == 1
+    assert config.scr_candidate_rank(2) == 2
+    assert config.scr_candidate_rank(3) == 3
+    assert config.scr_candidate_rank(4) == 1
+    assert config.scr_candidate_rank(6) == 3
+
+
+def test_is_paired():
+    config = ProtocolConfig(f=2)
+    assert config.is_paired(1) and config.is_paired(2)
+    assert not config.is_paired(3)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigError):
+        ProtocolConfig(f=0)
+    with pytest.raises(ConfigError):
+        ProtocolConfig(variant="pbft")
+    with pytest.raises(ConfigError):
+        ProtocolConfig(batching_interval=0)
+    with pytest.raises(ConfigError):
+        ProtocolConfig(batch_size_bytes=10, request_bytes=64)
+    with pytest.raises(ConfigError):
+        ProtocolConfig(pair_delay_estimate=0)
+
+
+def test_with_replaces_fields():
+    config = ProtocolConfig(f=2)
+    swept = config.with_(batching_interval=0.2)
+    assert swept.batching_interval == 0.2
+    assert swept.f == 2
+    assert config.batching_interval != 0.2
+
+
+def test_f3_structure():
+    config = ProtocolConfig(f=3)
+    assert config.n == 10
+    assert config.order_quorum == 7
+    assert config.coordinator_candidates == 4

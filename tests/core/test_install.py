@@ -1,0 +1,153 @@
+"""Unit tests for the NewBackLog computation (install part, IN2)."""
+
+import pytest
+
+from repro.core.install import (
+    BacklogView,
+    compute_new_backlog,
+    verify_start_against_backlogs,
+)
+from repro.core.messages import Ack, CommitProof, OrderBatch, OrderEntry, sign_message
+from repro.crypto.schemes import MD5_RSA_1024
+from repro.crypto.signed import countersign
+from repro.crypto.signing import SimulatedSignatureProvider
+from repro.errors import ProtocolError
+
+NAMES = ["p1", "p1'", "p2", "p2'", "p3", "p4", "p5"]
+provider = SimulatedSignatureProvider(MD5_RSA_1024, NAMES)
+
+
+def batch(first_seq, n=2, tag=b"\x00", rank=1):
+    entries = tuple(
+        OrderEntry(seq=first_seq + i, req_digest=tag * 16, client="c1",
+                   req_id=first_seq + i)
+        for i in range(n)
+    )
+    return OrderBatch(rank=rank, batch_id=first_seq, entries=entries)
+
+
+def signed_batch(first_seq, n=2, tag=b"\x00", rank=1):
+    return countersign(provider, "p1'", sign_message(provider, "p1", batch(first_seq, n, tag, rank)))
+
+
+def proof_for(signed, quorum=5):
+    acks = tuple(
+        sign_message(provider, name, Ack(acker=name, order=signed))
+        for name in ("p2", "p3", "p4")
+    )
+    return CommitProof(order=signed, acks=acks, quorum=quorum)
+
+
+def view(sender, max_committed=None, uncommitted=()):
+    return BacklogView(sender=sender, max_committed=max_committed,
+                       uncommitted=tuple(uncommitted))
+
+
+def test_base_is_max_of_max_committed():
+    low = proof_for(signed_batch(1))
+    high = proof_for(signed_batch(3))
+    result = compute_new_backlog([view("p2", low), view("p3", high)], f=2)
+    assert result.base_seq == 4  # batch(3) covers seqs 3..4
+    assert result.base_proof is high
+
+
+def test_uncommitted_above_base_included_in_order():
+    base = proof_for(signed_batch(1))
+    u5 = signed_batch(5)
+    u3 = signed_batch(3)
+    result = compute_new_backlog(
+        [view("p2", base, [u5]), view("p3", base, [u3])], f=2
+    )
+    firsts = [s.body.first_seq for s in result.new_backlog]
+    assert firsts == [3, 5]
+    assert result.start_seq == 7
+
+
+def test_uncommitted_at_or_below_base_excluded():
+    base = proof_for(signed_batch(3))  # covers 3..4
+    stale = signed_batch(1)
+    result = compute_new_backlog([view("p2", base, [stale])], f=2)
+    assert result.new_backlog == ()
+    assert result.start_seq == 5
+
+
+def test_conflict_resolved_by_f_plus_1_copies():
+    committed_version = signed_batch(1, tag=b"\x01")
+    minority_version = signed_batch(1, tag=b"\x02")
+    views = [
+        view("p2", None, [committed_version]),
+        view("p3", None, [committed_version]),
+        view("p4", None, [committed_version]),
+        view("p5", None, [minority_version]),
+        view("p1", None, [minority_version]),
+    ]
+    result = compute_new_backlog(views, f=2)
+    assert result.new_backlog[0].body.entries[0].req_digest == b"\x01" * 16
+
+
+def test_conflict_without_majority_resolves_deterministically():
+    a = signed_batch(1, tag=b"\x01")
+    b = signed_batch(1, tag=b"\x02")
+    views_ab = [view("p2", None, [a]), view("p3", None, [b])]
+    views_ba = [view("p3", None, [b]), view("p2", None, [a])]
+    r1 = compute_new_backlog(views_ab, f=2)
+    r2 = compute_new_backlog(views_ba, f=2)
+    assert r1.new_backlog[0].body == r2.new_backlog[0].body
+
+
+def test_hole_above_base_truncates_chain():
+    base = proof_for(signed_batch(1))  # covers 1..2
+    orphan = signed_batch(7)  # nothing covers 3..6
+    result = compute_new_backlog([view("p2", base, [orphan])], f=2)
+    assert result.new_backlog == ()
+    assert result.start_seq == 3
+
+
+def test_duplicate_copies_counted_by_sender():
+    a = signed_batch(1, tag=b"\x01")
+    result = compute_new_backlog(
+        [view("p2", None, [a]), view("p3", None, [a])], f=1
+    )
+    assert len(result.new_backlog) == 1
+
+
+def test_no_backlogs_raises():
+    with pytest.raises(ProtocolError):
+        compute_new_backlog([], f=1)
+
+
+def test_empty_views_give_start_seq_one():
+    result = compute_new_backlog([view("p2"), view("p3")], f=1)
+    assert result.base_seq == 0
+    assert result.start_seq == 1
+    assert result.new_backlog == ()
+
+
+def test_verify_start_accepts_honest_computation():
+    base = proof_for(signed_batch(1))
+    u = signed_batch(3)
+    views = [view("p2", base, [u]), view("p3", base, [u])]
+    result = compute_new_backlog(views, f=2)
+    assert verify_start_against_backlogs(
+        result.new_backlog, result.start_seq, views, views, f=2
+    )
+
+
+def test_verify_start_rejects_wrong_start_seq():
+    views = [view("p2", None, [signed_batch(1)])]
+    result = compute_new_backlog(views, f=2)
+    assert not verify_start_against_backlogs(
+        result.new_backlog, result.start_seq + 5, views, views, f=2
+    )
+
+
+def test_verify_start_rejects_discarded_majority_order():
+    majority = signed_batch(1, tag=b"\x01")
+    minority = signed_batch(1, tag=b"\x02")
+    provided = [view("p2", None, [minority])]
+    own = [view(name, None, [majority]) for name in ("p2", "p3", "p4")]
+    # A Byzantine replica claims the minority copy; the shadow's own
+    # backlogs show f+1 supporters for the other one.
+    assert not verify_start_against_backlogs(
+        (minority,), 3, provided, own, f=2
+    )

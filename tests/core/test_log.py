@@ -1,0 +1,165 @@
+"""Unit tests for the order log (N1-N3 bookkeeping)."""
+
+import pytest
+
+from repro.core.log import OrderLog
+from repro.core.messages import Ack, OrderBatch, OrderEntry, SignedMessage, sign_message
+from repro.crypto.schemes import MD5_RSA_1024
+from repro.crypto.signing import SimulatedSignatureProvider
+from repro.errors import ProtocolError
+
+NAMES = ["p1", "p1'", "p2", "p3", "p4"]
+
+
+@pytest.fixture
+def provider():
+    return SimulatedSignatureProvider(MD5_RSA_1024, NAMES)
+
+
+def batch(first_seq=1, n=2, rank=1, tag=b"\x00"):
+    entries = tuple(
+        OrderEntry(seq=first_seq + i, req_digest=tag * 16, client="c1", req_id=first_seq + i)
+        for i in range(n)
+    )
+    return OrderBatch(rank=rank, batch_id=first_seq, entries=entries)
+
+
+def doubly(provider, body):
+    from repro.crypto.signed import countersign
+
+    return countersign(provider, "p1'", sign_message(provider, "p1", body))
+
+
+def make_ack(provider, name, order):
+    return sign_message(provider, name, Ack(acker=name, order=order))
+
+
+def test_order_signers_count_as_support(provider):
+    log = OrderLog(quorum=4)
+    slot = log.note_order(doubly(provider, batch()))
+    assert slot.support == {"p1", "p1'"}
+
+
+def test_quorum_commit_flow(provider):
+    log = OrderLog(quorum=4)
+    order = doubly(provider, batch())
+    slot = log.note_order(order)
+    log.note_ack("p2", order, make_ack(provider, "p2", order))
+    assert not log.quorum_reached(slot)
+    log.note_ack("p3", order, make_ack(provider, "p3", order))
+    assert log.quorum_reached(slot)
+    log.commit(slot, now=1.5)
+    assert slot.committed and slot.committed_at == 1.5
+    assert log.highest_committed == batch().last_seq
+
+
+def test_duplicate_ack_counts_once(provider):
+    log = OrderLog(quorum=4)
+    order = doubly(provider, batch())
+    log.note_order(order)
+    for _ in range(3):
+        slot = log.note_ack("p2", order, make_ack(provider, "p2", order))
+    assert slot.support == {"p1", "p1'", "p2"}
+
+
+def test_conflicting_order_kept_as_competing(provider):
+    log = OrderLog(quorum=4)
+    log.note_order(doubly(provider, batch(tag=b"\x01")))
+    slot = log.note_order(doubly(provider, batch(tag=b"\x02")))
+    assert len(slot.competing) == 1
+    # support still tracks the adopted order only
+    assert slot.support == {"p1", "p1'"}
+
+
+def test_commit_twice_raises(provider):
+    log = OrderLog(quorum=1)
+    slot = log.note_order(doubly(provider, batch()))
+    log.commit(slot, 1.0)
+    with pytest.raises(ProtocolError):
+        log.commit(slot, 2.0)
+
+
+def test_commit_without_order_raises(provider):
+    log = OrderLog(quorum=1)
+    slot = log.slot_for(5)
+    with pytest.raises(ProtocolError):
+        log.commit(slot, 1.0)
+
+
+def test_max_committed_proof_trimmed_to_quorum(provider):
+    log = OrderLog(quorum=4)
+    order = doubly(provider, batch())
+    log.note_order(order)
+    for name in ("p2", "p3", "p4"):
+        log.note_ack(name, order, make_ack(provider, name, order))
+    slot = log.slots[1]
+    log.commit(slot, 1.0)
+    proof = log.max_committed_proof()
+    # 2 signers + 2 acks reach the quorum of 4; the third ack is trimmed.
+    assert len(proof.acks) == 2
+    assert len(proof.supporters) == 4
+
+
+def test_uncommitted_orders_sorted_and_acked_only(provider):
+    log = OrderLog(quorum=10)
+    o1 = doubly(provider, batch(first_seq=3))
+    o2 = doubly(provider, batch(first_seq=1))
+    s1 = log.note_order(o1)
+    s2 = log.note_order(o2)
+    s1.acked = True
+    s2.acked = True
+    o3 = doubly(provider, batch(first_seq=5))
+    log.note_order(o3)  # received but not acked -> excluded
+    uncommitted = log.uncommitted_orders()
+    firsts = [s.body.first_seq for s in uncommitted]
+    assert firsts == [1, 3]
+
+
+def test_force_commit_overrides_uncommitted_conflict(provider):
+    log = OrderLog(quorum=10)
+    old = doubly(provider, batch(tag=b"\x01"))
+    slot = log.note_order(old)
+    slot.acked = True
+    new = doubly(provider, batch(tag=b"\x02"))
+    committed = log.force_commit(new, now=2.0)
+    assert committed.committed
+    assert committed.order is new
+
+
+def test_force_commit_conflicting_committed_raises(provider):
+    log = OrderLog(quorum=1)
+    slot = log.note_order(doubly(provider, batch(tag=b"\x01")))
+    log.commit(slot, 1.0)
+    with pytest.raises(ProtocolError):
+        log.force_commit(doubly(provider, batch(tag=b"\x02")), 2.0)
+
+
+def test_force_commit_idempotent_on_same_batch(provider):
+    log = OrderLog(quorum=1)
+    order = doubly(provider, batch())
+    log.force_commit(order, 1.0)
+    slot = log.force_commit(order, 2.0)
+    assert slot.committed_at == 1.0
+
+
+def test_drop_uncommitted_from(provider):
+    log = OrderLog(quorum=10)
+    first = log.note_order(doubly(provider, batch(first_seq=1)))
+    first.acked = True
+    log.commit(first, 1.0)
+    later = log.note_order(doubly(provider, batch(first_seq=3)))
+    later.acked = True
+    dropped = log.drop_uncommitted_from(2)
+    assert len(dropped) == 1
+    assert 3 not in log.slots
+    assert 1 in log.slots  # committed slots survive
+
+
+def test_committed_between(provider):
+    log = OrderLog(quorum=1)
+    for first in (1, 3, 5):
+        log.force_commit(doubly(provider, batch(first_seq=first)), 1.0)
+    hits = log.committed_between(3, 4)
+    assert [h.body.first_seq for h in hits] == [3]
+    all_hits = log.committed_between(1, 100)
+    assert [h.body.first_seq for h in all_hits] == [1, 3, 5]

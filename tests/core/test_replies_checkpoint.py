@@ -1,0 +1,91 @@
+"""Unit tests for client replies and checkpointing."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointTracker
+from repro.core.messages import OrderEntry
+from repro.core.replies import Reply, ReplyTracker, result_digest
+
+
+def entry(seq, tag=b"\x01"):
+    return OrderEntry(seq=seq, req_digest=tag * 16, client="c1", req_id=seq)
+
+
+def reply(replier, seq=1, digest=None):
+    return Reply(
+        replier=replier, client="c1", req_id=1, seq=seq,
+        result_digest=digest if digest is not None else result_digest(entry(seq)),
+    )
+
+
+def test_result_digest_deterministic_and_entry_bound():
+    assert result_digest(entry(1)) == result_digest(entry(1))
+    assert result_digest(entry(1)) != result_digest(entry(2))
+    assert result_digest(entry(1, b"\x01")) != result_digest(entry(1, b"\x02"))
+
+
+def test_reply_tracker_needs_f_plus_1_matching():
+    tracker = ReplyTracker(f=2)
+    assert not tracker.note_reply(reply("p1"), now=1.0)
+    assert not tracker.note_reply(reply("p2"), now=1.1)
+    assert tracker.note_reply(reply("p3"), now=1.2)  # third distinct voter
+    assert tracker.completed[("c1", 1)][0] == 1
+
+
+def test_reply_tracker_duplicate_repliers_count_once():
+    tracker = ReplyTracker(f=2)
+    for _ in range(5):
+        assert not tracker.note_reply(reply("p1"), now=1.0)
+
+
+def test_reply_tracker_conflicting_results_do_not_mix():
+    tracker = ReplyTracker(f=2)
+    bogus = b"\x00" * 16
+    tracker.note_reply(reply("p1"), now=1.0)
+    tracker.note_reply(reply("p2", digest=bogus), now=1.0)
+    tracker.note_reply(reply("p3", digest=bogus), now=1.0)
+    assert ("c1", 1) not in tracker.completed
+    assert tracker.note_reply(reply("p4"), now=1.0) is False  # 2 honest < f+1
+    assert tracker.note_reply(reply("p5"), now=1.0)  # third honest voter
+
+
+def test_reply_tracker_completion_is_sticky():
+    tracker = ReplyTracker(f=1)
+    tracker.note_reply(reply("p1"), now=1.0)
+    assert tracker.note_reply(reply("p2"), now=1.5)
+    assert not tracker.note_reply(reply("p3"), now=2.0)  # already done
+    assert tracker.pending == 0
+
+
+def test_checkpoint_tracker_stability_at_f_plus_1():
+    tracker = CheckpointTracker(f=2)
+    claim = lambda name: Checkpoint(process=name, seq=100, state_digest=b"\xaa")
+    assert not tracker.note(claim("p1"))
+    assert not tracker.note(claim("p2"))
+    assert tracker.note(claim("p3"))
+    assert tracker.stable_seq == 100
+    assert tracker.stable_digest == b"\xaa"
+
+
+def test_checkpoint_tracker_ignores_stale_claims():
+    tracker = CheckpointTracker(f=1)
+    for name in ("p1", "p2"):
+        tracker.note(Checkpoint(process=name, seq=100, state_digest=b"\xaa"))
+    assert not tracker.note(Checkpoint(process="p3", seq=50, state_digest=b"\xbb"))
+    assert tracker.stable_seq == 100
+
+
+def test_checkpoint_tracker_divergent_digests_never_stabilise():
+    tracker = CheckpointTracker(f=1)
+    tracker.note(Checkpoint(process="p1", seq=100, state_digest=b"\xaa"))
+    assert not tracker.note(Checkpoint(process="p2", seq=100, state_digest=b"\xbb"))
+    assert tracker.stable_seq == 0
+
+
+def test_checkpoint_tracker_advances_monotonically():
+    tracker = CheckpointTracker(f=1)
+    for name in ("p1", "p2"):
+        tracker.note(Checkpoint(process=name, seq=100, state_digest=b"\xaa"))
+    for name in ("p1", "p2"):
+        tracker.note(Checkpoint(process=name, seq=200, state_digest=b"\xcc"))
+    assert tracker.stable_seq == 200

@@ -1,0 +1,101 @@
+"""Unit tests for client requests and message wire-size accounting."""
+
+from repro.core.messages import (
+    Ack,
+    BackLog,
+    CommitProof,
+    HEADER_BYTES,
+    OrderBatch,
+    OrderEntry,
+    SignedMessage,
+    Start,
+    payload_size,
+    sign_message,
+)
+from repro.core.requests import ClientRequest
+from repro.crypto.dealer import fail_signal_body
+from repro.crypto.schemes import MD5_RSA_1024
+from repro.crypto.signing import SimulatedSignatureProvider
+
+
+def make_batch(first_seq=1, n=3, rank=1):
+    entries = tuple(
+        OrderEntry(seq=first_seq + i, req_digest=bytes(16), client="c1", req_id=i)
+        for i in range(n)
+    )
+    return OrderBatch(rank=rank, batch_id=1, entries=entries)
+
+
+def test_request_digest_depends_on_content():
+    a = ClientRequest("c1", 1, payload=b"x")
+    b = ClientRequest("c1", 1, payload=b"y")
+    assert a.digest_under("md5") != b.digest_under("md5")
+    assert a.digest_under("md5") == ClientRequest("c1", 1, payload=b"x").digest_under("md5")
+
+
+def test_request_key():
+    assert ClientRequest("c2", 7).key == ("c2", 7)
+
+
+def test_batch_seq_range():
+    batch = make_batch(first_seq=10, n=4)
+    assert batch.first_seq == 10
+    assert batch.last_seq == 13
+
+
+def test_batch_size_scales_with_entries():
+    small = make_batch(n=1).payload_bytes()
+    large = make_batch(n=10).payload_bytes()
+    assert large > small
+    assert small == HEADER_BYTES + 40
+
+
+def test_signed_message_adds_signature_bytes():
+    provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1"])
+    batch = make_batch()
+    signed = sign_message(provider, "p1", batch)
+    assert payload_size(signed) == batch.payload_bytes() + 128
+
+
+def test_ack_carries_order_size():
+    provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1", "p2"])
+    signed = sign_message(provider, "p1", make_batch())
+    ack = Ack(acker="p2", order=signed)
+    assert ack.payload_bytes() > payload_size(signed)
+
+
+def test_backlog_size_grows_with_uncommitted():
+    provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1"])
+    fs = sign_message(provider, "p1", fail_signal_body(1, "p1"))
+    orders = tuple(
+        sign_message(provider, "p1", make_batch(first_seq=1 + 3 * i)) for i in range(4)
+    )
+    small = BackLog("p2", 2, fs, None, orders[:1]).payload_bytes()
+    large = BackLog("p2", 2, fs, None, orders).payload_bytes()
+    assert large > small
+
+
+def test_commit_proof_supporters_union():
+    provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1", "p1'", "p2", "p3"])
+    order = sign_message(provider, "p1", make_batch())
+    acks = tuple(
+        sign_message(provider, name, Ack(acker=name, order=order))
+        for name in ("p2", "p3")
+    )
+    proof = CommitProof(order=order, acks=acks, quorum=3)
+    assert proof.supporters == frozenset({"p1", "p2", "p3"})
+
+
+def test_start_size_grows_with_backlog():
+    provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1"])
+    orders = tuple(
+        sign_message(provider, "p1", make_batch(first_seq=1 + 3 * i)) for i in range(3)
+    )
+    assert (
+        Start(2, 10, orders).payload_bytes()
+        > Start(2, 10, orders[:1]).payload_bytes()
+    )
+
+
+def test_payload_size_defaults_to_header():
+    assert payload_size(fail_signal_body(1, "p1")) == HEADER_BYTES

@@ -1,0 +1,78 @@
+"""Unit tests for schemes and the calibrated cost model."""
+
+import pytest
+
+from repro.crypto.costs import CryptoCostModel, OpCosts
+from repro.crypto.schemes import (
+    MD5_RSA_1024,
+    MD5_RSA_1536,
+    PAPER_SCHEMES,
+    PLAIN,
+    SHA1_DSA_1024,
+    scheme_by_name,
+)
+from repro.errors import ConfigError, CryptoError
+
+
+def test_signature_wire_sizes():
+    assert MD5_RSA_1024.signature_bytes == 128
+    assert MD5_RSA_1536.signature_bytes == 192
+    assert SHA1_DSA_1024.signature_bytes == 40
+    assert PLAIN.signature_bytes == 0
+
+
+def test_paper_schemes_in_order():
+    assert [s.name for s in PAPER_SCHEMES] == [
+        "md5-rsa1024", "md5-rsa1536", "sha1-dsa1024",
+    ]
+
+
+def test_scheme_lookup():
+    assert scheme_by_name("sha1-dsa1024") is SHA1_DSA_1024
+    with pytest.raises(CryptoError):
+        scheme_by_name("rot13")
+
+
+def test_p4_2006_encodes_paper_asymmetries():
+    model = CryptoCostModel.p4_2006()
+    rsa1024 = model.costs("md5-rsa1024")
+    rsa1536 = model.costs("md5-rsa1536")
+    dsa = model.costs("sha1-dsa1024")
+    # Sign times similar between RSA-1024 and DSA (paper, Section 5).
+    assert 0.5 < rsa1024.sign / dsa.sign < 2.0
+    # RSA verify much faster than sign; DSA verify slower than sign.
+    assert rsa1024.verify < rsa1024.sign / 5
+    assert dsa.verify > dsa.sign
+    # Bigger keys cost more.
+    assert rsa1536.sign > rsa1024.sign
+    assert rsa1536.verify > rsa1024.verify
+    # The decisive comparison: RSA verification beats DSA verification
+    # by a wide margin ("DSA is generally not suited for Byzantine
+    # order protocols").
+    assert rsa1024.verify < dsa.verify / 3
+    # RSA-1536 remains cheaper to verify than DSA but dearer to sign.
+    assert rsa1536.verify < dsa.verify
+
+
+def test_plain_scheme_is_free():
+    model = CryptoCostModel.p4_2006()
+    costs = model.costs("plain")
+    assert costs.sign == costs.verify == 0.0
+    assert costs.digest_cost(10_000) == 0.0
+
+
+def test_digest_cost_scales_with_size():
+    costs = OpCosts(sign=0, verify=0, digest_base=1e-6, digest_per_kb=1e-5)
+    assert costs.digest_cost(2048) == pytest.approx(1e-6 + 2e-5)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ConfigError):
+        CryptoCostModel.p4_2006().costs("unknown")
+
+
+def test_free_model_all_zero():
+    model = CryptoCostModel.free()
+    for scheme in PAPER_SCHEMES:
+        assert model.for_scheme(scheme).sign == 0.0
+        assert model.for_scheme(scheme).verify == 0.0

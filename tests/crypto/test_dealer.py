@@ -1,0 +1,66 @@
+"""Unit tests for the trusted dealer."""
+
+import pytest
+
+from repro.crypto.dealer import FailSignalBody, TrustedDealer, fail_signal_body
+from repro.crypto.schemes import MD5_RSA_1024, PLAIN
+from repro.crypto.signed import SignedMessage, countersign, verify_signed, signing_bytes
+from repro.errors import ConfigError
+
+
+def test_provision_creates_keys_for_all_names():
+    dealer = TrustedDealer(MD5_RSA_1024)
+    provider = dealer.provision(["p1", "p2"])
+    sig = provider.sign("p2", b"m")
+    assert provider.verify(sig, b"m", "p2")
+
+
+def test_provision_rejects_duplicates():
+    dealer = TrustedDealer(MD5_RSA_1024)
+    with pytest.raises(ConfigError):
+        dealer.provision(["p1", "p1"])
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigError):
+        TrustedDealer(MD5_RSA_1024, mode="quantum")
+
+
+def test_real_mode_needs_signatures():
+    with pytest.raises(ConfigError):
+        TrustedDealer(PLAIN, mode="real")
+
+
+def test_fail_signal_blanks_signed_by_counterpart():
+    dealer = TrustedDealer(MD5_RSA_1024)
+    provider = dealer.provision(["p1", "p1'"])
+    blanks = dealer.issue_fail_signal_blanks(provider, 1, "p1", "p1'")
+    body, sig = blanks["p1"]
+    assert isinstance(body, FailSignalBody)
+    assert body.first_signer == "p1'"  # p1 holds a blank signed by p1'
+    assert provider.verify(sig, signing_bytes(body, ()), "p1'")
+    body2, sig2 = blanks["p1'"]
+    assert body2.first_signer == "p1"
+
+
+def test_blank_double_signs_into_valid_fail_signal():
+    dealer = TrustedDealer(MD5_RSA_1024)
+    provider = dealer.provision(["p1", "p1'"])
+    blanks = dealer.issue_fail_signal_blanks(provider, 1, "p1", "p1'")
+    body, sig = blanks["p1"]
+    doubly = countersign(provider, "p1", SignedMessage(body=body, signatures=(sig,)))
+    assert verify_signed(provider, doubly, ("p1'", "p1"))
+
+
+def test_fail_signal_body_helper():
+    body = fail_signal_body(3, "p3'")
+    assert body.pair == 3
+    assert body.first_signer == "p3'"
+
+
+def test_real_mode_provision_small_keys():
+    dealer = TrustedDealer(MD5_RSA_1024, mode="real", key_bits=384)
+    provider = dealer.provision(["p1", "p1'"])
+    sig = provider.sign("p1", b"m")
+    assert provider.verify(sig, b"m", "p1")
+    assert not provider.verify(sig, b"n", "p1")

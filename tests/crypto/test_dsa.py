@@ -1,0 +1,86 @@
+"""Unit tests for the from-scratch DSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto import dsa
+from repro.crypto.numtheory import is_probable_prime
+from repro.crypto.signing import default_dsa_parameters
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def params():
+    # Small parameters for fast tests; same code path as 1024-bit.
+    return dsa.generate_parameters(256, 160, random.Random(21))
+
+
+@pytest.fixture(scope="module")
+def key(params):
+    return dsa.generate_keypair(params, random.Random(22))
+
+
+def test_parameters_structure(params):
+    assert params.p.bit_length() == 256
+    assert params.q.bit_length() == 160
+    assert (params.p - 1) % params.q == 0
+    assert is_probable_prime(params.p)
+    assert is_probable_prime(params.q)
+    assert pow(params.g, params.q, params.p) == 1
+    assert params.g > 1
+
+
+def test_precomputed_1024_parameters_are_valid():
+    params = default_dsa_parameters(1024)
+    assert params.p.bit_length() == 1024
+    assert params.q.bit_length() == 160
+    assert (params.p - 1) % params.q == 0
+    assert is_probable_prime(params.p)
+    assert is_probable_prime(params.q)
+    assert pow(params.g, params.q, params.p) == 1
+
+
+def test_sign_verify_round_trip(key):
+    for message in (b"", b"hello", b"y" * 3000):
+        r, s = dsa.sign(key, message, "sha1")
+        assert dsa.verify(key.public, message, (r, s), "sha1")
+
+
+def test_tampered_message_fails(key):
+    sig = dsa.sign(key, b"original", "sha1")
+    assert not dsa.verify(key.public, b"original!", sig, "sha1")
+
+
+def test_wrong_key_fails(key, params):
+    other = dsa.generate_keypair(params, random.Random(33))
+    sig = dsa.sign(key, b"msg", "sha1")
+    assert not dsa.verify(other.public, b"msg", sig, "sha1")
+
+
+def test_out_of_range_signature_rejected(key, params):
+    assert not dsa.verify(key.public, b"m", (0, 5), "sha1")
+    assert not dsa.verify(key.public, b"m", (5, 0), "sha1")
+    assert not dsa.verify(key.public, b"m", (params.q, 5), "sha1")
+
+
+def test_deterministic_nonce_repeatable_but_message_dependent(key):
+    assert dsa.sign(key, b"m", "sha1") == dsa.sign(key, b"m", "sha1")
+    assert dsa.sign(key, b"m", "sha1") != dsa.sign(key, b"n", "sha1")
+
+
+def test_signature_encoding_round_trip(key):
+    sig = dsa.sign(key, b"msg", "sha1")
+    blob = dsa.encode_signature(sig)
+    assert len(blob) == 40
+    assert dsa.decode_signature(blob) == sig
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(CryptoError):
+        dsa.decode_signature(b"\x00" * 39)
+
+
+def test_parameter_generation_validates_sizes():
+    with pytest.raises(CryptoError):
+        dsa.generate_parameters(128, 160, random.Random(0))

@@ -1,0 +1,62 @@
+"""Unit tests for canonical byte encoding."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.crypto.encoding import canonical_bytes
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+
+
+def test_dict_keys_sorted():
+    assert canonical_bytes({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+
+def test_dataclass_tagged_with_class_name():
+    encoded = canonical_bytes(Point(1, 2)).decode()
+    assert '"__dc__":"Point"' in encoded
+    assert '"x":1' in encoded
+
+
+def test_bytes_hex_tagged():
+    encoded = canonical_bytes(b"\x00\xff").decode()
+    assert '"__bytes__":"00ff"' in encoded
+
+
+def test_bytes_and_string_distinct():
+    assert canonical_bytes(b"ab") != canonical_bytes("ab")
+
+
+def test_nested_containers():
+    value = {"list": [1, (2, 3)], "none": None, "flag": True}
+    encoded = canonical_bytes(value)
+    assert encoded == canonical_bytes(value)  # stable
+
+
+def test_different_dataclasses_with_same_fields_differ():
+    @dataclass(frozen=True)
+    class Other:
+        x: int
+        y: int
+
+    assert canonical_bytes(Point(1, 2)) != canonical_bytes(Other(1, 2))
+
+
+def test_unencodable_value_rejected():
+    with pytest.raises(CryptoError):
+        canonical_bytes(object())
+
+
+def test_unencodable_dict_key_rejected():
+    with pytest.raises(CryptoError):
+        canonical_bytes({(1, 2): "tuple key"})
+
+
+def test_int_keys_stringified():
+    assert canonical_bytes({1: "a"}) == b'{"1":"a"}'

@@ -1,0 +1,81 @@
+"""Unit tests for number theory primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto.numtheory import (
+    egcd,
+    generate_prime,
+    generate_prime_in_range,
+    is_probable_prime,
+    modinv,
+)
+from repro.errors import CryptoError
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+def test_egcd_bezout_identity():
+    g, x, y = egcd(240, 46)
+    assert g == 2
+    assert 240 * x + 46 * y == g
+
+
+def test_modinv_basic():
+    assert (3 * modinv(3, 11)) % 11 == 1
+    assert (7 * modinv(7, 97)) % 97 == 1
+
+
+def test_modinv_nonexistent_raises():
+    with pytest.raises(CryptoError):
+        modinv(6, 9)
+
+
+def test_primality_on_small_numbers():
+    for n in range(2, 200):
+        assert is_probable_prime(n) == (n in SMALL_PRIMES or all(
+            n % p for p in range(2, int(n**0.5) + 1)
+        ))
+
+
+def test_primality_known_large_prime_and_composite():
+    assert is_probable_prime(2**127 - 1)  # Mersenne prime
+    assert not is_probable_prime(2**127 - 3)
+    assert not is_probable_prime((2**61 - 1) * (2**31 - 1))
+
+
+def test_carmichael_numbers_rejected():
+    # Classic Fermat-test foolers; Miller-Rabin must reject them.
+    for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+        assert not is_probable_prime(n)
+
+
+def test_generate_prime_has_exact_bits_and_top_bits_set():
+    rng = random.Random(1)
+    for bits in (16, 24, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+        assert p & (1 << (bits - 2))  # second-highest bit forced
+
+
+def test_generate_prime_deterministic_under_seed():
+    assert generate_prime(32, random.Random(9)) == generate_prime(32, random.Random(9))
+
+
+def test_generate_prime_too_small_rejected():
+    with pytest.raises(CryptoError):
+        generate_prime(4, random.Random(0))
+
+
+def test_generate_prime_in_range():
+    rng = random.Random(2)
+    p = generate_prime_in_range(1000, 2000, rng)
+    assert 1000 <= p < 2000
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_in_range_validates():
+    with pytest.raises(CryptoError):
+        generate_prime_in_range(10, 10, random.Random(0))

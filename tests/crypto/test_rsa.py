@@ -1,0 +1,84 @@
+"""Unit tests for the from-scratch RSA signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto import rsa
+from repro.errors import CryptoError
+
+KEY_BITS = 384  # small keys keep generation fast; structure is identical
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa.generate_keypair(KEY_BITS, random.Random(11))
+
+
+def test_modulus_has_exact_bits(key):
+    assert key.public.n.bit_length() == KEY_BITS
+
+
+def test_crt_fields_consistent(key):
+    assert key.p * key.q == key.public.n
+    assert (key.qinv * key.q) % key.p == 1
+    assert key.dp == key.d % (key.p - 1)
+    assert key.dq == key.d % (key.q - 1)
+
+
+def test_sign_verify_round_trip(key):
+    for message in (b"", b"hello", b"x" * 5000):
+        sig = rsa.sign(key, message, "md5")
+        assert len(sig) == KEY_BITS // 8
+        assert rsa.verify(key.public, message, sig, "md5")
+
+
+def test_tampered_message_fails(key):
+    sig = rsa.sign(key, b"original", "md5")
+    assert not rsa.verify(key.public, b"origina1", sig, "md5")
+
+
+def test_tampered_signature_fails(key):
+    sig = bytearray(rsa.sign(key, b"msg", "md5"))
+    sig[5] ^= 0xFF
+    assert not rsa.verify(key.public, b"msg", bytes(sig), "md5")
+
+
+def test_wrong_key_fails(key):
+    other = rsa.generate_keypair(KEY_BITS, random.Random(12))
+    sig = rsa.sign(key, b"msg", "md5")
+    assert not rsa.verify(other.public, b"msg", sig, "md5")
+
+
+def test_wrong_digest_name_fails(key):
+    sig = rsa.sign(key, b"msg", "md5")
+    assert not rsa.verify(key.public, b"msg", sig, "sha1")
+
+
+def test_sha1_digest_supported(key):
+    sig = rsa.sign(key, b"msg", "sha1")
+    assert rsa.verify(key.public, b"msg", sig, "sha1")
+
+
+def test_unsupported_digest_rejected(key):
+    with pytest.raises(CryptoError):
+        rsa.sign(key, b"msg", "none")
+
+
+def test_wrong_length_signature_rejected(key):
+    assert not rsa.verify(key.public, b"msg", b"\x00" * 10, "md5")
+
+
+def test_signing_is_deterministic(key):
+    assert rsa.sign(key, b"m", "md5") == rsa.sign(key, b"m", "md5")
+
+
+def test_keygen_deterministic_under_seed():
+    a = rsa.generate_keypair(256, random.Random(5))
+    b = rsa.generate_keypair(256, random.Random(5))
+    assert a.public == b.public
+
+
+def test_keygen_rejects_tiny_modulus():
+    with pytest.raises(CryptoError):
+        rsa.generate_keypair(64, random.Random(0))

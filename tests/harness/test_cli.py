@@ -1,0 +1,63 @@
+"""CLI tests (fast: the experiment runners are monkeypatched)."""
+
+import pytest
+
+import repro.harness.experiments as experiments
+from repro.harness.experiments import FailoverRunResult, OrderRunResult, main
+
+
+@pytest.fixture
+def fast_runners(monkeypatch):
+    def fake_order(protocol, scheme, interval, f=2, seed=1, n_batches=100,
+                   warmup_batches=15):
+        base = {"ct": 0.010, "sc": 0.040, "bft": 0.050}[protocol]
+        return OrderRunResult(
+            protocol=protocol, scheme=scheme, f=f, batching_interval=interval,
+            latency_mean=base / interval * 0.05, latency_p50=base, latency_p95=base,
+            throughput=16 / interval, batches_measured=n_batches,
+        )
+
+    def fake_failover(protocol, scheme, backlog_batches, f=2, seed=1,
+                      batching_interval=0.25):
+        return FailoverRunResult(
+            protocol=protocol, scheme=scheme, f=f,
+            target_backlog_batches=backlog_batches,
+            observed_backlog_bytes=1024.0 * (2 + backlog_batches),
+            failover_latency=0.1 + 0.03 * backlog_batches,
+        )
+
+    monkeypatch.setattr(experiments, "run_order_experiment", fake_order)
+    monkeypatch.setattr(experiments, "run_failover_experiment", fake_failover)
+
+
+def test_cli_fig4_quick(fast_runners, capsys):
+    assert main(["fig4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "md5-rsa1024" in out
+    assert "sc" in out and "bft" in out and "ct" in out
+
+
+def test_cli_fig5_quick(fast_runners, capsys):
+    assert main(["fig5", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "committed req/s" in out
+
+
+def test_cli_fig6_quick(fast_runners, capsys):
+    assert main(["fig6", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "ms/KB" in out  # the linear fit line
+
+
+def test_cli_f3(fast_runners, capsys):
+    assert main(["f3"]) == 0
+    out = capsys.readouterr().out
+    assert "f = 2 vs f = 3" in out
+
+
+def test_cli_rejects_unknown_figure(fast_runners):
+    with pytest.raises(SystemExit):
+        main(["fig7"])

@@ -1,0 +1,78 @@
+"""Unit tests for the cluster builder."""
+
+import pytest
+
+from repro import ProtocolConfig
+from repro.errors import ConfigError
+from repro.harness.cluster import build_cluster, order_process_names
+
+
+def test_sc_cluster_layout():
+    cluster = build_cluster("sc", ProtocolConfig(f=2))
+    assert set(cluster.processes) == {"p1", "p2", "p3", "p4", "p5", "p1'", "p2'"}
+    assert set(cluster.pair_links) == {1, 2}
+    assert len(cluster.clients) == 2
+
+
+def test_bft_cluster_layout():
+    cluster = build_cluster("bft", ProtocolConfig(f=2))
+    assert len(cluster.processes) == 7
+    assert not cluster.pair_links
+
+
+def test_ct_cluster_layout():
+    cluster = build_cluster("ct", ProtocolConfig(f=2))
+    assert len(cluster.processes) == 5
+
+
+def test_order_process_names_per_protocol():
+    config = ProtocolConfig(f=1)
+    assert order_process_names("ct", config) == ("p1", "p2", "p3")
+    assert order_process_names("bft", config) == ("p1", "p2", "p3", "p4")
+    assert order_process_names("sc", config) == ("p1", "p2", "p3", "p1'")
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigError):
+        build_cluster("paxos")
+
+
+def test_variant_mismatch_rejected():
+    with pytest.raises(ConfigError):
+        build_cluster("scr", ProtocolConfig(f=1, variant="sc"))
+    with pytest.raises(ConfigError):
+        build_cluster("sc", ProtocolConfig(f=1, variant="scr"))
+
+
+def test_paired_processes_have_blanks_and_oracles():
+    cluster = build_cluster("sc", ProtocolConfig(f=2))
+    p1 = cluster.process("p1")
+    assert p1.blank is not None
+    assert p1.suspicion_oracle is not None
+    assert not p1.suspicion_oracle()  # counterpart is correct
+    p3 = cluster.process("p3")
+    assert p3.blank is None
+
+
+def test_oracle_reflects_injected_fault():
+    from repro.failures.faults import CrashFault
+
+    cluster = build_cluster("sc", ProtocolConfig(f=2))
+    cluster.injector.inject(cluster.process("p1"), CrashFault(active_from=0.0))
+    p1s = cluster.process("p1'")
+    assert p1s.suspicion_oracle() is True
+
+
+def test_real_crypto_mode():
+    cluster = build_cluster("sc", ProtocolConfig(f=1), crypto_mode="real", key_bits=384)
+    provider = cluster.provider
+    sig = provider.sign("p1", b"m")
+    assert provider.verify(sig, b"m", "p1")
+
+
+def test_same_seed_reproducible_build():
+    a = build_cluster("sc", ProtocolConfig(f=1), seed=5)
+    b = build_cluster("sc", ProtocolConfig(f=1), seed=5)
+    sig_a = a.provider.sign("p1", b"x")
+    sig_b = b.provider.sign("p1", b"x")
+    assert sig_a.value == sig_b.value

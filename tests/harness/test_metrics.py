@@ -1,0 +1,111 @@
+"""Unit tests for metric extraction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.metrics import (
+    LatencyStats,
+    backlog_bytes_observed,
+    collect_latencies,
+    failover_latency,
+    latency_stats,
+    linear_fit,
+    throughput_per_process,
+)
+from repro.sim.trace import Tracer
+
+
+def make_trace():
+    t = Tracer()
+    # batch 1: formed at 0.1, first commit 0.13 (p2), later 0.15 (p3)
+    t.emit(0.10, "batch_formed", actor="p1", rank=1, batch_id=1, first_seq=1, n_requests=4)
+    t.emit(0.13, "order_committed", actor="p2", rank=1, batch_id=1, first_seq=1, n_requests=4)
+    t.emit(0.15, "order_committed", actor="p3", rank=1, batch_id=1, first_seq=1, n_requests=4)
+    # batch 2: formed 0.2, committed 0.26
+    t.emit(0.20, "batch_formed", actor="p1", rank=1, batch_id=2, first_seq=5, n_requests=4)
+    t.emit(0.26, "order_committed", actor="p2", rank=1, batch_id=2, first_seq=5, n_requests=4)
+    return t
+
+
+def test_collect_latencies_uses_first_commit():
+    samples = collect_latencies(make_trace())
+    assert len(samples) == 2
+    assert samples[0].latency == pytest.approx(0.03)
+    assert samples[1].latency == pytest.approx(0.06)
+
+
+def test_unmatched_batches_excluded():
+    t = make_trace()
+    t.emit(0.30, "batch_formed", actor="p1", rank=1, batch_id=3, first_seq=9, n_requests=4)
+    samples = collect_latencies(t)
+    assert len(samples) == 2
+
+
+def test_latency_stats_warmup_skip():
+    samples = collect_latencies(make_trace())
+    stats = latency_stats(samples, skip_first=1)
+    assert stats.count == 1
+    assert stats.mean == pytest.approx(0.06)
+
+
+def test_latency_stats_empty_raises():
+    with pytest.raises(ConfigError):
+        LatencyStats.from_values([])
+
+
+def test_latency_stats_percentiles():
+    stats = LatencyStats.from_values([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert stats.p50 == 3.0
+    assert stats.p95 == 100.0
+    assert stats.maximum == 100.0
+    assert stats.count == 5
+
+
+def test_throughput_counts_requests_per_process():
+    t = make_trace()
+    # window [0, 1): p2 committed 8 requests, p3 committed 4
+    rate_p2 = throughput_per_process(t, 0.0, 1.0, process="p2")
+    assert rate_p2 == pytest.approx(8.0)
+    averaged = throughput_per_process(t, 0.0, 1.0)
+    assert averaged == pytest.approx((8.0 + 4.0) / 2)
+
+
+def test_throughput_empty_window():
+    assert throughput_per_process(make_trace(), 0.9, 1.0) == 0.0
+    with pytest.raises(ConfigError):
+        throughput_per_process(make_trace(), 1.0, 1.0)
+
+
+def test_failover_latency_pairs_signal_with_completion():
+    t = Tracer()
+    t.emit(1.0, "fail_signal_emitted", actor="p1'", pair=1)
+    t.emit(1.2, "failover_complete", actor="p2", target=2)
+    assert failover_latency(t) == pytest.approx(0.2)
+
+
+def test_failover_latency_requires_episode():
+    with pytest.raises(ConfigError):
+        failover_latency(make_trace())
+
+
+def test_backlog_bytes_observed_mean():
+    t = Tracer()
+    t.emit(1.0, "backlog_sent", actor="p2", target=2, size=1000)
+    t.emit(1.0, "backlog_sent", actor="p3", target=2, size=3000)
+    assert backlog_bytes_observed(t) == pytest.approx(2000.0)
+
+
+def test_linear_fit_recovers_line():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    ys = [2.1, 4.1, 6.1, 8.1]
+    slope, intercept, r2 = linear_fit(xs, ys)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(0.1)
+    assert r2 > 0.999
+
+
+def test_linear_fit_validates_input():
+    with pytest.raises(ConfigError):
+        linear_fit([1.0], [2.0])
+    with pytest.raises(ConfigError):
+        linear_fit([1.0, 1.0], [2.0, 3.0])

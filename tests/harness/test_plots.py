@@ -1,0 +1,61 @@
+"""Unit tests for the ASCII plotter."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.plots import ascii_plot
+
+
+def series():
+    return {
+        "sc": [(0.04, 0.6), (0.1, 0.045), (0.5, 0.04)],
+        "bft": [(0.04, 1.3), (0.1, 0.055), (0.5, 0.05)],
+    }
+
+
+def test_plot_contains_title_markers_and_legend():
+    out = ascii_plot("Figure 4", series(), log_y=True,
+                     xlabel="interval (s)", ylabel="latency (s)")
+    assert out.splitlines()[0] == "Figure 4"
+    assert "o" in out and "x" in out
+    assert "legend: o sc   x bft" in out
+    assert "(log)" in out
+
+
+def test_axis_extremes_labelled():
+    out = ascii_plot("T", series())
+    assert "0.04" in out and "0.5" in out  # x extremes
+    assert "1.3" in out  # y max
+
+
+def test_markers_placed_monotonically_for_line():
+    line = {"a": [(0.0, 0.0), (1.0, 1.0)]}
+    out = ascii_plot("T", line, width=20, height=10)
+    grid_rows = [line for line in out.splitlines() if "│" in line]
+    rows = [i for i, text in enumerate(grid_rows) if "o" in text]
+    cols = [grid_rows[i].split("│", 1)[1].index("o") for i in rows]
+    # Higher y -> earlier (upper) row; larger x -> larger column.
+    assert rows == sorted(rows)
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_log_axis_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        ascii_plot("T", {"a": [(1.0, 0.0), (2.0, 1.0)]}, log_y=True)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ConfigError):
+        ascii_plot("T", {"a": []})
+
+
+def test_flat_series_renders():
+    out = ascii_plot("T", {"ct": [(0.04, 0.01), (0.5, 0.01)]})
+    assert "o" in out
+
+
+def test_plot_width_height_respected():
+    out = ascii_plot("T", series(), width=30, height=8)
+    body = [line for line in out.splitlines() if "│" in line]
+    assert len(body) == 8
+    assert all(len(line.split("│", 1)[1]) == 30 for line in body)

@@ -1,0 +1,67 @@
+"""Unit tests for workloads and report rendering."""
+
+import pytest
+
+from repro import ProtocolConfig, build_cluster
+from repro.errors import ConfigError
+from repro.harness.report import render_series, render_table
+from repro.harness.workload import OpenLoopWorkload, saturating_rate
+
+
+def test_saturating_rate_fills_batches():
+    # 1 KB batches of 64-byte requests, every 100 ms -> >= 160 req/s
+    rate = saturating_rate(1024, 64, 0.100)
+    assert rate >= 160
+
+
+def test_workload_issues_expected_volume():
+    cluster = build_cluster("ct", ProtocolConfig(f=1))
+    workload = OpenLoopWorkload(cluster, rate=100, duration=2.0)
+    workload.install()
+    cluster.run(until=3.0)
+    issued = sum(len(c.issued) for c in cluster.clients)
+    assert workload.issued == issued
+    assert 140 <= issued <= 260  # Poisson around 200
+
+
+def test_workload_round_robins_clients():
+    cluster = build_cluster("ct", ProtocolConfig(f=1), n_clients=3)
+    workload = OpenLoopWorkload(cluster, rate=90, duration=1.0, spacing="uniform")
+    workload.install()
+    cluster.run(until=2.0)
+    counts = [len(c.issued) for c in cluster.clients]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_workload_uniform_spacing_exact_count():
+    cluster = build_cluster("ct", ProtocolConfig(f=1))
+    workload = OpenLoopWorkload(cluster, rate=50, duration=1.0, spacing="uniform")
+    workload.install()
+    cluster.run(until=2.0)
+    assert workload.issued == 49  # arrivals strictly inside (0, 1)
+
+
+def test_workload_validates_parameters():
+    cluster = build_cluster("ct", ProtocolConfig(f=1))
+    with pytest.raises(ConfigError):
+        OpenLoopWorkload(cluster, rate=0, duration=1.0)
+    with pytest.raises(ConfigError):
+        OpenLoopWorkload(cluster, rate=10, duration=1.0, spacing="bursty")
+
+
+def test_render_table_alignment():
+    out = render_table("T", ("a", "bbb"), [("1", "2"), ("333", "4")])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bbb" in lines[2]
+    assert len({len(line) for line in lines[2:]}) <= 2  # consistent widths
+
+
+def test_render_series_merges_x_axis():
+    out = render_series(
+        "S", "x", "y",
+        {"a": [(1.0, 10.0), (2.0, 20.0)], "b": [(2.0, 5.0)]},
+    )
+    assert "1" in out and "2" in out
+    assert "-" in out  # missing point for series b at x=1
+    assert "10.00" in out and "5.00" in out

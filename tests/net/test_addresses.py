@@ -1,0 +1,57 @@
+"""Unit tests for process naming."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.addresses import (
+    base_index,
+    client_name,
+    is_client,
+    is_shadow,
+    pair_of,
+    replica_name,
+    shadow_name,
+)
+
+
+def test_replica_and_shadow_names():
+    assert replica_name(3) == "p3"
+    assert shadow_name(3) == "p3'"
+
+
+def test_is_shadow():
+    assert is_shadow("p2'")
+    assert not is_shadow("p2")
+
+
+def test_base_index_parses_both_forms():
+    assert base_index("p12") == 12
+    assert base_index("p12'") == 12
+
+
+def test_base_index_rejects_garbage():
+    with pytest.raises(ConfigError):
+        base_index("q3")
+    with pytest.raises(ConfigError):
+        base_index("p")
+
+
+def test_pair_of_round_trips():
+    assert pair_of("p4") == "p4'"
+    assert pair_of("p4'") == "p4"
+    assert pair_of(pair_of("p7")) == "p7"
+
+
+def test_invalid_indices_rejected():
+    with pytest.raises(ConfigError):
+        replica_name(0)
+    with pytest.raises(ConfigError):
+        shadow_name(-1)
+    with pytest.raises(ConfigError):
+        client_name(0)
+
+
+def test_client_names():
+    assert client_name(2) == "c2"
+    assert is_client("c2")
+    assert not is_client("p2")

@@ -1,0 +1,72 @@
+"""Unit tests for delay models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.delay import ConstantDelay, LanDelay, SurgeableDelay
+
+
+def test_constant_delay_ignores_size():
+    model = ConstantDelay(0.002)
+    rng = random.Random(0)
+    assert model.sample(10, rng, 0.0) == 0.002
+    assert model.sample(10_000, rng, 0.0) == 0.002
+
+
+def test_constant_delay_rejects_negative():
+    with pytest.raises(ConfigError):
+        ConstantDelay(-1.0)
+
+
+def test_lan_delay_grows_with_size():
+    model = LanDelay(propagation=1e-4, bandwidth_bytes_per_s=1e6, jitter=0.0)
+    rng = random.Random(0)
+    small = model.sample(100, rng, 0.0)
+    large = model.sample(100_000, rng, 0.0)
+    assert large > small
+    assert small == pytest.approx(1e-4 + 100 / 1e6)
+
+
+def test_lan_delay_jitter_bounded():
+    model = LanDelay(propagation=0.0, bandwidth_bytes_per_s=1e9, jitter=1e-3)
+    rng = random.Random(1)
+    base = 1000 / 1e9
+    for _ in range(100):
+        delay = model.sample(1000, rng, 0.0)
+        assert base <= delay <= base + 1e-3
+
+
+def test_lan_delay_validates_parameters():
+    with pytest.raises(ConfigError):
+        LanDelay(propagation=-1.0)
+    with pytest.raises(ConfigError):
+        LanDelay(bandwidth_bytes_per_s=0)
+
+
+def test_surgeable_delay_inflates_in_window():
+    inner = ConstantDelay(0.001)
+    model = SurgeableDelay(inner, surge_factor=10.0)
+    model.add_surge(1.0, 2.0)
+    rng = random.Random(0)
+    assert model.sample(10, rng, 0.5) == pytest.approx(0.001)
+    assert model.sample(10, rng, 1.5) == pytest.approx(0.010)
+    assert model.sample(10, rng, 2.0) == pytest.approx(0.001)  # window is half-open
+
+
+def test_surgeable_rejects_bad_windows():
+    model = SurgeableDelay(ConstantDelay(0.001))
+    with pytest.raises(ConfigError):
+        model.add_surge(2.0, 2.0)
+    with pytest.raises(ConfigError):
+        SurgeableDelay(ConstantDelay(0.001), surge_factor=0.5)
+
+
+def test_multiple_surge_windows():
+    model = SurgeableDelay(ConstantDelay(1.0), surge_factor=2.0)
+    model.add_surge(0.0, 1.0)
+    model.add_surge(5.0, 6.0)
+    assert model.in_surge(0.5)
+    assert not model.in_surge(3.0)
+    assert model.in_surge(5.5)

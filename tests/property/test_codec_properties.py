@@ -1,0 +1,106 @@
+"""Property-based tests for the wire codec: arbitrary generated
+protocol messages must round-trip losslessly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    Ack,
+    CatchUpRequest,
+    Heartbeat,
+    OrderBatch,
+    OrderEntry,
+    Start,
+    sign_message,
+)
+from repro.core.requests import ClientRequest
+from repro.crypto.schemes import MD5_RSA_1024
+from repro.crypto.signed import countersign
+from repro.crypto.signing import SimulatedSignatureProvider
+from repro.net.codec import decode, encode, encoded_size
+
+provider = SimulatedSignatureProvider(MD5_RSA_1024, ["p1", "p1'", "p2"])
+
+names = st.sampled_from(["p1", "p1'", "p2"])
+clients = st.sampled_from(["c1", "c2", "c9"])
+digests = st.binary(min_size=16, max_size=16)
+
+
+@st.composite
+def order_batches(draw):
+    first = draw(st.integers(min_value=1, max_value=10**6))
+    n = draw(st.integers(min_value=1, max_value=8))
+    entries = tuple(
+        OrderEntry(
+            seq=first + i,
+            req_digest=draw(digests),
+            client=draw(clients),
+            req_id=draw(st.integers(min_value=1, max_value=10**6)),
+        )
+        for i in range(n)
+    )
+    return OrderBatch(
+        rank=draw(st.integers(min_value=1, max_value=5)),
+        batch_id=draw(st.integers(min_value=-100, max_value=10**6)),
+        entries=entries,
+    )
+
+
+@st.composite
+def signed_batches(draw):
+    batch = draw(order_batches())
+    singly = sign_message(provider, "p1", batch)
+    if draw(st.booleans()):
+        return countersign(provider, "p1'", singly)
+    return singly
+
+
+@given(order_batches())
+def test_order_batch_round_trip(batch):
+    assert decode(encode(batch)) == batch
+
+
+@given(signed_batches())
+def test_signed_message_round_trip(signed):
+    decoded = decode(encode(signed))
+    assert decoded == signed
+    assert decoded.signers == signed.signers
+
+
+@given(signed_batches(), names)
+def test_ack_round_trip(order, acker):
+    ack = sign_message(provider, acker, Ack(acker=acker, order=order))
+    assert decode(encode(ack)) == ack
+
+
+@given(st.lists(signed_batches(), max_size=4), st.integers(min_value=1, max_value=10**6))
+def test_start_round_trip(backlog, start_seq):
+    start = Start(new_rank=2, start_seq=start_seq, new_backlog=tuple(backlog))
+    assert decode(encode(start)) == start
+
+
+@given(clients, st.integers(min_value=1, max_value=10**9), st.binary(max_size=64))
+def test_client_request_round_trip(client, req_id, payload):
+    request = ClientRequest(client=client, req_id=req_id, payload=payload,
+                            size_bytes=max(64, len(payload)))
+    assert decode(encode(request)) == request
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+def test_small_messages_round_trip(a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert decode(encode(CatchUpRequest("p2", lo, hi))) == CatchUpRequest("p2", lo, hi)
+    assert decode(encode(Heartbeat("p1", a))) == Heartbeat("p1", a)
+
+
+@given(signed_batches())
+@settings(max_examples=40)
+def test_encoding_is_deterministic(signed):
+    assert encode(signed) == encode(signed)
+    assert encoded_size(signed) == len(encode(signed))
+
+
+@given(order_batches(), order_batches())
+def test_distinct_batches_encode_distinctly(a, b):
+    if a != b:
+        assert encode(a) != encode(b)

@@ -1,0 +1,149 @@
+"""Property-based tests for the NewBackLog computation.
+
+These check the install part's safety-critical invariants over
+randomised backlog populations: any order committed by a correct
+process (modelled as present in >= f+1 views) survives into the new
+backlog or sits at/below the base, and the result never contains
+conflicting or out-of-order entries.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.install import BacklogView, compute_new_backlog
+from repro.core.messages import Ack, CommitProof, OrderBatch, OrderEntry, sign_message
+from repro.crypto.schemes import MD5_RSA_1024
+from repro.crypto.signed import countersign
+from repro.crypto.signing import SimulatedSignatureProvider
+
+NAMES = ["p1", "p1'", "p2", "p3", "p4", "p5", "p6"]
+provider = SimulatedSignatureProvider(MD5_RSA_1024, NAMES)
+
+
+def signed_batch(first_seq, n, tag):
+    entries = tuple(
+        OrderEntry(seq=first_seq + i, req_digest=bytes([tag]) * 16,
+                   client="c1", req_id=first_seq + i)
+        for i in range(n)
+    )
+    batch = OrderBatch(rank=1, batch_id=first_seq, entries=entries)
+    return countersign(provider, "p1'", sign_message(provider, "p1", batch))
+
+
+def proof_for(signed):
+    acks = tuple(
+        sign_message(provider, name, Ack(acker=name, order=signed))
+        for name in ("p2", "p3", "p4")
+    )
+    return CommitProof(order=signed, acks=acks, quorum=5)
+
+
+@st.composite
+def backlog_population(draw):
+    """A set of views over a chain of batches with random gaps/tags."""
+    f = draw(st.integers(min_value=1, max_value=2))
+    n_views = draw(st.integers(min_value=1, max_value=2 * f + 1))
+    chain_len = draw(st.integers(min_value=0, max_value=6))
+    batches = []
+    seq = 1
+    for i in range(chain_len):
+        width = draw(st.integers(min_value=1, max_value=3))
+        batches.append((seq, width))
+        seq += width
+    committed_upto = draw(st.integers(min_value=0, max_value=chain_len))
+    views = []
+    for v in range(n_views):
+        max_committed = None
+        if committed_upto:
+            idx = draw(st.integers(min_value=0, max_value=committed_upto - 1))
+            first, width = batches[idx]
+            max_committed = proof_for(signed_batch(first, width, tag=1))
+        uncommitted = []
+        for first, width in batches[committed_upto:]:
+            if draw(st.booleans()):
+                tag = draw(st.sampled_from([1, 2]))
+                uncommitted.append(signed_batch(first, width, tag=tag))
+        views.append(
+            BacklogView(sender=f"p{v + 1}", max_committed=max_committed,
+                        uncommitted=tuple(uncommitted))
+        )
+    return f, views
+
+
+@given(backlog_population())
+@settings(max_examples=60, deadline=None)
+def test_new_backlog_is_contiguous_above_base(population):
+    f, views = population
+    result = compute_new_backlog(views, f)
+    next_seq = result.base_seq + 1
+    for signed in result.new_backlog:
+        batch = signed.body
+        assert batch.first_seq <= next_seq <= batch.last_seq + 1
+        assert batch.first_seq > result.base_seq
+        next_seq = batch.last_seq + 1
+    assert result.start_seq == next_seq
+
+
+@given(backlog_population())
+@settings(max_examples=60, deadline=None)
+def test_new_backlog_has_no_duplicate_slots(population):
+    f, views = population
+    result = compute_new_backlog(views, f)
+    firsts = [s.body.first_seq for s in result.new_backlog]
+    assert len(firsts) == len(set(firsts))
+    assert firsts == sorted(firsts)
+
+
+@given(backlog_population())
+@settings(max_examples=60, deadline=None)
+def test_majority_copy_always_survives(population):
+    """If one copy of a slot appears in >= f+1 views (i.e. it may have
+    been committed by a correct process), the computation must keep
+    that copy, not a conflicting one."""
+    f, views = population
+    result = compute_new_backlog(views, f)
+    counts = {}
+    for view in views:
+        for signed in view.uncommitted:
+            batch = signed.body
+            key = (batch.first_seq, batch.entries[0].req_digest)
+            counts[key] = counts.get(key, 0) + 1
+    chosen = {
+        s.body.first_seq: s.body.entries[0].req_digest for s in result.new_backlog
+    }
+    for (first_seq, digest_), count in counts.items():
+        if count >= f + 1 and first_seq in chosen:
+            conflicting = [
+                d for (fs, d), c in counts.items() if fs == first_seq and d != digest_
+            ]
+            if not any(
+                c >= f + 1
+                for (fs, d), c in counts.items()
+                if fs == first_seq and d != digest_
+            ):
+                assert chosen[first_seq] == digest_
+
+
+@given(backlog_population())
+@settings(max_examples=60, deadline=None)
+def test_base_never_below_any_reported_commit(population):
+    f, views = population
+    result = compute_new_backlog(views, f)
+    for view in views:
+        if view.max_committed is not None:
+            assert result.base_seq >= view.max_committed.order.body.last_seq
+
+
+@given(backlog_population(), st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=30, deadline=None)
+def test_result_independent_of_view_order(population, seed):
+    f, views = population
+    shuffled = list(views)
+    random.Random(seed).shuffle(shuffled)
+    a = compute_new_backlog(views, f)
+    b = compute_new_backlog(shuffled, f)
+    assert a.base_seq == b.base_seq
+    assert a.start_seq == b.start_seq
+    assert [s.body for s in a.new_backlog] == [s.body for s in b.new_backlog]

@@ -1,0 +1,92 @@
+"""Property-based end-to-end tests: total order under randomised
+schedules, workloads and fault timings; simulator determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
+from repro.failures.faults import CrashFault, WrongDigestFault
+from tests.conftest import assert_total_order, assert_total_order_among_correct
+
+
+def run(protocol, seed, rate, duration=1.0, fault=None, f=1, drain=3.0):
+    config = ProtocolConfig(
+        f=f,
+        variant="scr" if protocol == "scr" else "sc",
+        batching_interval=0.050,
+    )
+    cluster = build_cluster(protocol, config=config, seed=seed)
+    workload = OpenLoopWorkload(cluster, rate=rate, duration=duration)
+    workload.install()
+    if fault is not None:
+        name, plan = fault
+        cluster.injector.inject(cluster.process(name), plan)
+    cluster.start()
+    cluster.run(until=duration + drain)
+    return cluster
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       rate=st.floats(min_value=30, max_value=300))
+@settings(max_examples=10, deadline=None)
+def test_sc_total_order_across_seeds(seed, rate):
+    cluster = run("sc", seed, rate)
+    assert_total_order(cluster)
+    applied = {p.machine.applied_seq for p in cluster.processes.values()}
+    assert len(applied) == 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       fault_at=st.floats(min_value=0.3, max_value=0.9))
+@settings(max_examples=8, deadline=None)
+def test_sc_safety_with_byzantine_coordinator(seed, fault_at):
+    cluster = run(
+        "sc", seed, rate=120,
+        fault=("p1", WrongDigestFault(active_from=fault_at)),
+    )
+    assert_total_order_among_correct(cluster)
+    assert cluster.sim.trace.of_kind("coordinator_installed")
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       fault_at=st.floats(min_value=0.3, max_value=0.9))
+@settings(max_examples=8, deadline=None)
+def test_sc_safety_with_crashing_coordinator(seed, fault_at):
+    cluster = run(
+        "sc", seed, rate=120,
+        fault=("p1", CrashFault(active_from=fault_at)),
+    )
+    assert_total_order_among_correct(cluster)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=6, deadline=None)
+def test_bft_total_order_across_seeds(seed):
+    cluster = run("bft", seed, rate=120)
+    assert_total_order(cluster)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=6, deadline=None)
+def test_ct_total_order_across_seeds(seed):
+    cluster = run("ct", seed, rate=120)
+    assert_total_order(cluster)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=5, deadline=None)
+def test_identical_seeds_give_identical_traces(seed):
+    """Determinism: the whole simulation is a function of its seed."""
+    a = run("sc", seed, rate=120, duration=0.6, drain=1.0)
+    b = run("sc", seed, rate=120, duration=0.6, drain=1.0)
+    assert a.sim.trace.to_jsonl() == b.sim.trace.to_jsonl()
+    assert a.network.messages_sent == b.network.messages_sent
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=4, deadline=None)
+def test_different_seeds_give_different_timings(seed):
+    a = run("sc", seed, rate=120, duration=0.6, drain=1.0)
+    b = run("sc", seed + 1, rate=120, duration=0.6, drain=1.0)
+    # content may coincide, but full traces should differ in timing
+    assert a.sim.trace.to_jsonl() != b.sim.trace.to_jsonl()

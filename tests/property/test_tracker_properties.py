@@ -1,0 +1,105 @@
+"""Property-based tests for the reply and checkpoint trackers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import Checkpoint, CheckpointTracker
+from repro.core.replies import Reply, ReplyTracker
+
+PROCESSES = [f"p{i}" for i in range(1, 11)]
+
+
+@st.composite
+def reply_streams(draw):
+    f = draw(st.integers(min_value=1, max_value=3))
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(PROCESSES),
+                st.integers(min_value=1, max_value=3),  # req_id
+                st.sampled_from([b"\xaa" * 16, b"\xbb" * 16]),  # result
+            ),
+            max_size=40,
+        )
+    )
+    return f, events
+
+
+@given(reply_streams())
+@settings(max_examples=80)
+def test_completion_requires_f_plus_1_distinct_matching(stream):
+    f, events = stream
+    tracker = ReplyTracker(f)
+    votes: dict[tuple[int, bytes], set[str]] = {}
+    for i, (replier, req_id, result) in enumerate(events):
+        key = (req_id, result)
+        completed_before = ("c1", req_id) in tracker.completed
+        newly = tracker.note_reply(
+            Reply(replier=replier, client="c1", req_id=req_id, seq=req_id,
+                  result_digest=result),
+            now=float(i),
+        )
+        if not completed_before:
+            votes.setdefault(key, set()).add(replier)
+        if newly:
+            assert len(votes[key]) >= f + 1
+    # Whenever f+1 distinct repliers agreed before completion, the
+    # tracker must have completed that request.
+    for (req_id, result), supporters in votes.items():
+        if len(supporters) >= f + 1:
+            assert ("c1", req_id) in tracker.completed
+
+
+@given(reply_streams())
+@settings(max_examples=50)
+def test_first_completion_wins_and_sticks(stream):
+    f, events = stream
+    tracker = ReplyTracker(f)
+    recorded: dict[tuple[str, int], bytes] = {}
+    for i, (replier, req_id, result) in enumerate(events):
+        tracker.note_reply(
+            Reply(replier=replier, client="c1", req_id=req_id, seq=req_id,
+                  result_digest=result),
+            now=float(i),
+        )
+        for key, (_seq, digest, _t) in tracker.completed.items():
+            if key in recorded:
+                assert recorded[key] == digest  # never changes afterwards
+            else:
+                recorded[key] = digest
+
+
+@st.composite
+def checkpoint_streams(draw):
+    f = draw(st.integers(min_value=1, max_value=3))
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(PROCESSES),
+                st.sampled_from([32, 64, 96]),  # seq
+                st.sampled_from([b"\x01", b"\x02"]),  # digest
+            ),
+            max_size=40,
+        )
+    )
+    return f, events
+
+
+@given(checkpoint_streams())
+@settings(max_examples=80)
+def test_stable_seq_is_monotone_and_justified(stream):
+    f, events = stream
+    tracker = CheckpointTracker(f)
+    seen: dict[tuple[int, bytes], set[str]] = {}
+    last_stable = 0
+    for process, seq, digest in events:
+        before = tracker.stable_seq
+        if seq > before:
+            seen.setdefault((seq, digest), set()).add(process)
+        changed = tracker.note(Checkpoint(process=process, seq=seq, state_digest=digest))
+        assert tracker.stable_seq >= before  # monotone
+        if changed:
+            assert tracker.stable_seq == seq
+            assert len(seen[(seq, digest)]) >= f + 1
+        last_stable = tracker.stable_seq
+    assert tracker.stable_seq == last_stable

@@ -1,0 +1,125 @@
+"""Byzantine behaviour matrix: safety under every implemented fault, at
+several fault onsets and both paired roles."""
+
+import pytest
+
+from repro import ProtocolConfig
+from repro.failures.faults import (
+    CrashFault,
+    EquivocationFault,
+    MutateEndorsementFault,
+    WithholdOrdersFault,
+    WrongDigestFault,
+)
+from tests.conftest import assert_total_order_among_correct, run_protocol
+
+FAULTS = {
+    "crash": CrashFault,
+    "wrong-digest": WrongDigestFault,
+    "withhold": WithholdOrdersFault,
+    "equivocate": EquivocationFault,
+}
+
+
+@pytest.mark.parametrize("fault_name", sorted(FAULTS))
+@pytest.mark.parametrize("onset", [0.6, 1.1])
+def test_sc_safety_under_coordinator_fault(fault_name, onset):
+    cluster = run_protocol(
+        "sc", duration=2.2, rate=120, drain=3.0,
+        faults=[("p1", FAULTS[fault_name](active_from=onset))],
+    )
+    trace = cluster.sim.trace
+    assert trace.of_kind("fail_signal_emitted"), f"{fault_name} went undetected"
+    assert trace.of_kind("coordinator_installed")
+    assert_total_order_among_correct(cluster)
+
+
+@pytest.mark.parametrize("fault_name", ["crash", "wrong-digest"])
+def test_scr_safety_under_coordinator_fault(fault_name):
+    cluster = run_protocol(
+        "scr", duration=2.2, rate=120, drain=3.0,
+        faults=[("p1", FAULTS[fault_name](active_from=0.8))],
+    )
+    trace = cluster.sim.trace
+    assert trace.of_kind("view_installed")
+    assert_total_order_among_correct(cluster)
+
+
+def test_sc_byzantine_shadow_and_later_crash():
+    """Pair 1's shadow mutates endorsements (caught, pair fail-signals,
+    install to pair 2); later pair 2's replica crashes (install to the
+    unpaired p3).  Two sequential fail-overs, safety throughout."""
+    cluster = run_protocol(
+        "sc", duration=3.2, rate=120, drain=4.0,
+        faults=[
+            ("p1'", MutateEndorsementFault(active_from=0.7)),
+            ("p2", CrashFault(active_from=1.9)),
+        ],
+    )
+    trace = cluster.sim.trace
+    installs = sorted({r.fields["rank"] for r in trace.of_kind("coordinator_installed")})
+    assert installs == [2, 3]
+    assert_total_order_among_correct(cluster)
+
+
+def test_sc_non_coordinator_failure_recorded_and_skipped():
+    """Pair 2 fails while pair 1 coordinates: no install happens.  When
+    pair 1 later fails, the install must skip the dead pair 2 and land
+    on the unpaired candidate p3 directly."""
+    cluster = run_protocol(
+        "sc", duration=3.0, rate=120, drain=4.0,
+        faults=[
+            ("p2", CrashFault(active_from=0.6)),
+            ("p1", WrongDigestFault(active_from=1.6)),
+        ],
+    )
+    trace = cluster.sim.trace
+    installs = sorted({r.fields["rank"] for r in trace.of_kind("coordinator_installed")})
+    assert installs == [3], f"expected a direct jump to rank 3, got {installs}"
+    ranks = {r.fields["rank"] for r in trace.of_kind("order_committed")}
+    assert 3 in ranks
+    assert_total_order_among_correct(cluster)
+
+
+def test_sc_fault_at_time_zero():
+    """A coordinator that is Byzantine from the very first batch."""
+    cluster = run_protocol(
+        "sc", duration=1.6, rate=120, drain=3.0,
+        faults=[("p1", WrongDigestFault(active_from=0.0))],
+    )
+    trace = cluster.sim.trace
+    assert trace.of_kind("coordinator_installed")
+    # Everything committed happened under the new coordinator.
+    ranks = {r.fields["rank"] for r in trace.of_kind("order_committed")}
+    assert ranks == {2}
+    assert_total_order_among_correct(cluster)
+
+
+def test_sc_two_simultaneous_pair_failures_different_pairs():
+    """One faulty process in each of the two pairs (fr + fs = f = 2):
+    the system must still make progress via the unpaired candidate."""
+    cluster = run_protocol(
+        "sc", duration=2.6, rate=120, drain=4.0,
+        faults=[
+            ("p1", WrongDigestFault(active_from=0.7)),
+            ("p2'", CrashFault(active_from=0.7)),
+        ],
+    )
+    trace = cluster.sim.trace
+    installs = {r.fields["rank"] for r in trace.of_kind("coordinator_installed")}
+    assert 3 in installs
+    ranks = {r.fields["rank"] for r in trace.of_kind("order_committed")}
+    assert 3 in ranks
+    assert_total_order_among_correct(cluster)
+
+
+def test_bft_byzantine_backup_is_tolerated():
+    """A non-primary BFT replica signing garbage digests cannot affect
+    agreement (its prepares simply never match)."""
+    cluster = run_protocol(
+        "bft", duration=1.6, rate=120, drain=2.0,
+        faults=[("p3", WrongDigestFault(active_from=0.5))],
+    )
+    assert_total_order_among_correct(cluster)
+    committed = {p.machine.applied_seq for n, p in cluster.processes.items() if n != "p3"}
+    assert committed.pop() > 0

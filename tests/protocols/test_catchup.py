@@ -1,0 +1,84 @@
+"""IN5's laggard guarantee: a process whose max committed order is far
+behind the install's base recovers missing orders from peers
+("it is guaranteed to receive each of those order messages from at
+least (f+1) correct processes")."""
+
+import pytest
+
+from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
+from repro.core.messages import Ack, OrderBatch, SignedMessage
+from repro.failures.faults import WrongDigestFault
+from repro.net.message import Envelope
+
+
+def _lagging_cluster():
+    """p5 stops receiving orders/acks mid-run; the coordinator then
+    fails.  p5 still receives the install traffic, sees a Start whose
+    backlog begins above its own execution point, and must catch up."""
+    config = ProtocolConfig(f=2, batching_interval=0.050)
+    cluster = build_cluster("sc", config=config, seed=5)
+    workload = OpenLoopWorkload(cluster, rate=120, duration=2.5)
+    workload.install()
+
+    def starve_p5(envelope: Envelope) -> bool:
+        if envelope.dest != "p5":
+            return False
+        payload = envelope.payload
+        return isinstance(payload, SignedMessage) and isinstance(
+            payload.body, (OrderBatch, Ack)
+        )
+
+    cluster.sim.schedule_at(0.4, cluster.network.hold_matching, starve_p5)
+    cluster.injector.inject(cluster.process("p1"), WrongDigestFault(active_from=1.2))
+    # The network is asynchronous-but-reliable: the starved traffic is
+    # merely late.  Release it after the fail-over so p5 both catches
+    # up (the committed prefix, via CatchUpReply) and drains the rest.
+    cluster.sim.schedule_at(3.0, cluster.network.release_held)
+    cluster.start()
+    cluster.run(until=6.0)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return _lagging_cluster()
+
+
+def test_laggard_requests_catchup(cluster):
+    requests = cluster.sim.trace.of_kind("catchup_requested")
+    assert requests, "p5 should have requested missing orders"
+    assert all(r.fields["actor"] == "p5" for r in requests)
+
+
+def test_laggard_recovers_missing_prefix(cluster):
+    """Catch-up replies (f+1 agreeing) fill the gap below the base,
+    *before* the starved traffic is released: the catchup_requested
+    span must have been satisfied by t = 3.0 (the release time)."""
+    p5 = cluster.process("p5")
+    p3 = cluster.process("p3")
+    request = cluster.sim.trace.of_kind("catchup_requested")[0]
+    recovered = [
+        r
+        for r in cluster.sim.trace.of_kind("catchup_committed")
+        if r.fields["actor"] == "p5" and r.time < 3.0
+    ]
+    assert recovered, "catch-up produced no commits before the release"
+    covered = max(r.fields["last_seq"] for r in recovered)
+    assert covered >= request.fields["last"], "catch-up left a gap"
+    # After release, p5 is fully consistent with the correct majority.
+    assert p5.machine.history == p3.machine.history[: len(p5.machine.history)]
+    installs = cluster.sim.trace.of_kind("coordinator_installed")
+    start_seq = installs[0].fields["start_seq"]
+    assert p5.machine.applied_seq >= start_seq
+
+
+def test_laggard_rejoins_ordering(cluster):
+    """After catching up, p5 acks and commits fresh rank-2 orders."""
+    p5 = cluster.process("p5")
+    rank2 = [
+        slot
+        for slot in p5.log.committed_slots()
+        if slot.order.body.rank == 2
+        and slot.order.body.entries[0].client != "__install__"
+    ]
+    assert rank2, "p5 never committed an order from the new coordinator"

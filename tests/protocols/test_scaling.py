@@ -1,0 +1,63 @@
+"""Structural scaling: the protocols work at f = 1 and f = 3."""
+
+import pytest
+
+from repro import ProtocolConfig
+from repro.failures.faults import WrongDigestFault
+from tests.conftest import assert_total_order, assert_total_order_among_correct, run_protocol
+
+
+@pytest.mark.parametrize("f", [1, 3])
+@pytest.mark.parametrize("protocol", ["sc", "ct", "bft"])
+def test_failure_free_total_order(protocol, f):
+    config = ProtocolConfig(f=f, batching_interval=0.050)
+    cluster = run_protocol(protocol, config=config, duration=1.0, rate=100)
+    assert_total_order(cluster)
+    applied = {p.machine.applied_seq for p in cluster.processes.values()}
+    assert len(applied) == 1 and applied.pop() > 0
+
+
+def test_sc_f3_failover():
+    config = ProtocolConfig(f=3, batching_interval=0.050)
+    cluster = run_protocol(
+        "sc", config=config, duration=2.2, rate=100, drain=4.0,
+        faults=[("p1", WrongDigestFault(active_from=0.8))],
+    )
+    trace = cluster.sim.trace
+    installs = trace.of_kind("coordinator_installed")
+    assert installs and all(r.fields["rank"] == 2 for r in installs)
+    # IN3/IN4 ran: the support bundle carries f_eff - 1 = 2 tuples.
+    assert trace.of_kind("failover_complete")
+    assert_total_order_among_correct(cluster)
+
+
+def test_scr_f1_view_change():
+    config = ProtocolConfig(f=1, variant="scr", batching_interval=0.050)
+    cluster = run_protocol(
+        "scr", config=config, duration=2.0, rate=100, drain=4.0,
+        faults=[("p1", WrongDigestFault(active_from=0.8))],
+    )
+    trace = cluster.sim.trace
+    views = {(r.fields["view"], r.fields["rank"]) for r in trace.of_kind("view_installed")}
+    assert (2, 2) in views
+    assert_total_order_among_correct(cluster)
+
+
+def test_process_counts_scale_with_f():
+    from repro.harness.cluster import build_cluster
+
+    for f in (1, 2, 3, 4):
+        sc = build_cluster("sc", ProtocolConfig(f=f))
+        assert len(sc.processes) == 3 * f + 1
+        bft = build_cluster("bft", ProtocolConfig(f=f))
+        assert len(bft.processes) == 3 * f + 1
+        ct = build_cluster("ct", ProtocolConfig(f=f))
+        assert len(ct.processes) == 2 * f + 1
+        scr = build_cluster("scr", ProtocolConfig(f=f, variant="scr"))
+        assert len(scr.processes) == 3 * f + 2
+
+
+def test_quorum_scales_with_f():
+    for f in (1, 2, 3, 5):
+        config = ProtocolConfig(f=f)
+        assert config.order_quorum == config.n - f == 2 * f + 1

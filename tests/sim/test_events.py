@@ -1,0 +1,70 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    times = []
+    while (event := q.pop()) is not None:
+        times.append(event.time)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None, ())
+    second = q.push(1.0, lambda: None, ())
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(2.0, lambda: None, ())
+    drop = q.push(1.0, lambda: None, ())
+    drop.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_cancel_twice_raises():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None, ())
+    event.cancel()
+    with pytest.raises(SimulationError):
+        event.cancel()
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    early = q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    early.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_counts_pushed_events():
+    q = EventQueue()
+    q.push(1.0, lambda: None, ())
+    q.push(2.0, lambda: None, ())
+    assert len(q) == 2
+
+
+def test_active_property_flips_on_cancel():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None, ())
+    assert event.active
+    event.cancel()
+    assert not event.active

@@ -1,0 +1,118 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_run_advances_clock_to_last_event():
+    sim = Simulator()
+    sim.schedule(1.5, lambda: None)
+    sim.run()
+    assert sim.now == 1.5
+
+
+def test_callbacks_receive_args():
+    sim = Simulator()
+    got = []
+    sim.schedule(0.1, got.append, 42)
+    sim.run()
+    assert got == [42]
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_before_now_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == [("a", None)] or fired[0][0] == "a"
+    assert sim.pending >= 1
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.001, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_cancelled_timer_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.5, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_run_reentry_raises():
+    sim = Simulator()
+    seen = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            seen.append(exc)
+
+    sim.schedule(0.1, reenter)
+    sim.run()
+    assert len(seen) == 1
