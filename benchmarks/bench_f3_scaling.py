@@ -6,31 +6,36 @@ and the order latencies in the steady state increase.  These
 observations can be attributed to the fact that as n increases, each
 individual process receives more messages which need to be
 authenticated and processed."
+
+The sweep runs as a task grid over :mod:`repro.harness.runner`, the
+same machinery ``python -m repro suite`` uses (the suite's quick/full
+grids use different batch counts — compare like with like).
 """
 
-import pytest
+from repro.harness.runner import execute, f3_grid, group_series
+from repro.harness.sweeps import (
+    F3_INTERVALS,
+    F3_PROTOCOLS,
+    STEADY_INTERVAL,
+    run_once,
+    series_table,
+)
 
-from benchmarks.conftest import run_once, series_table
-from repro.harness.experiments import run_order_experiment
-
-INTERVALS = (0.060, 0.100, 0.250, 0.500)
-STEADY = 0.500
+INTERVALS = F3_INTERVALS
+STEADY = STEADY_INTERVAL
 TIGHT = 0.060
 
 
 def _sweep():
-    out = {}
-    for f in (2, 3):
-        for protocol in ("sc", "bft"):
-            pts = []
-            for interval in INTERVALS:
-                result = run_order_experiment(
-                    protocol, "md5-rsa1024", interval, f=f,
-                    n_batches=30, warmup_batches=6,
-                )
-                pts.append((interval, result.latency_mean))
-            out[f"{protocol} f={f}"] = pts
-    return out
+    tasks = f3_grid(
+        F3_PROTOCOLS, ("md5-rsa1024",), INTERVALS,
+        n_batches=30, warmup_batches=6,
+    )
+    return group_series(
+        execute(tasks),
+        key=lambda p: f"{p.task.protocol} f={p.task.f}",
+        point=lambda p: (p.task.batching_interval, p.result.latency_mean),
+    )
 
 
 def test_f3_scaling(benchmark):

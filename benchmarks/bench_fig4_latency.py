@@ -10,31 +10,36 @@ the paper's findings:
   threshold is *larger* (it saturates at larger batching intervals);
 * the SC/BFT steady-state gap widens when RSA is replaced by DSA
   (verification cost hits BFT's n-to-n phases hardest).
+
+The sweep runs as a task grid over :mod:`repro.harness.runner`, the
+same machinery ``python -m repro suite`` uses (the suite's quick/full
+grids use different point counts — compare like with like).
 """
 
 import pytest
 
-from benchmarks.conftest import run_once, series_table
-from repro.harness.experiments import run_order_experiment
+from repro.harness.runner import execute, order_grid, order_series
+from repro.harness.sweeps import (
+    BENCH_INTERVALS,
+    ORDER_PROTOCOLS,
+    STEADY_INTERVAL,
+    run_once,
+    series_table,
+)
 
-INTERVALS = (0.040, 0.060, 0.100, 0.250, 0.500)
-STEADY = 0.500
+INTERVALS = BENCH_INTERVALS
+STEADY = STEADY_INTERVAL
 N_BATCHES = 40
 
 _gap_by_scheme: dict[str, float] = {}
 
 
 def _sweep(scheme: str):
-    series: dict[str, list[tuple[float, float]]] = {}
-    for protocol in ("ct", "sc", "bft"):
-        pts = []
-        for interval in INTERVALS:
-            result = run_order_experiment(
-                protocol, scheme, interval, n_batches=N_BATCHES, warmup_batches=8
-            )
-            pts.append((interval, result.latency_mean))
-        series[protocol] = pts
-    return series
+    tasks = order_grid(
+        ORDER_PROTOCOLS, (scheme,), INTERVALS,
+        n_batches=N_BATCHES, warmup_batches=8,
+    )
+    return order_series(execute(tasks), value="latency_mean")[scheme]
 
 
 def _check_panel(scheme: str, series) -> None:

@@ -9,28 +9,32 @@ the paper's observations:
 * SC and BFT hit a saturation point after which throughput *drops*;
   BFT peaks lower / drops earlier than SC;
 * no drop is observed for CT in the swept range.
+
+The sweep runs as a task grid over :mod:`repro.harness.runner`, the
+same machinery ``python -m repro suite`` uses (the suite's quick/full
+grids use different point counts — compare like with like).
 """
 
 import pytest
 
-from benchmarks.conftest import run_once, series_table
-from repro.harness.experiments import run_order_experiment
+from repro.harness.runner import execute, order_grid, order_series
+from repro.harness.sweeps import (
+    BENCH_INTERVALS,
+    ORDER_PROTOCOLS,
+    run_once,
+    series_table,
+)
 
-INTERVALS = (0.040, 0.060, 0.100, 0.250, 0.500)
+INTERVALS = BENCH_INTERVALS
 N_BATCHES = 35
 
 
 def _sweep(scheme: str):
-    series: dict[str, list[tuple[float, float]]] = {}
-    for protocol in ("ct", "sc", "bft"):
-        pts = []
-        for interval in INTERVALS:
-            result = run_order_experiment(
-                protocol, scheme, interval, n_batches=N_BATCHES, warmup_batches=8
-            )
-            pts.append((interval, result.throughput))
-        series[protocol] = pts
-    return series
+    tasks = order_grid(
+        ORDER_PROTOCOLS, (scheme,), INTERVALS,
+        n_batches=N_BATCHES, warmup_batches=8,
+    )
+    return order_series(execute(tasks), value="throughput")[scheme]
 
 
 def _check_panel(scheme: str, series) -> None:

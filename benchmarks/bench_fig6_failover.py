@@ -11,25 +11,23 @@ Asserted paper claims:
   a least-squares fit, r² >= 0.9);
 * more expensive cryptography raises the whole curve (the install path
   re-verifies every signature the backlogs carry).
+
+The sweep runs as a task grid over :mod:`repro.harness.runner`, the
+same machinery ``python -m repro suite`` uses.
 """
 
 import pytest
 
-from benchmarks.conftest import run_once, series_table
-from repro.harness.experiments import run_failover_experiment
 from repro.harness.metrics import linear_fit
-
-BACKLOG_BATCHES = (1, 2, 3, 4, 5)
+from repro.harness.runner import execute, failover_grid, failover_series
+from repro.harness.sweeps import BACKLOG_BATCHES, run_once, series_table
 
 _steady_by_scheme: dict[tuple[str, str], float] = {}
 
 
 def _sweep(protocol: str, scheme: str):
-    pts = []
-    for k in BACKLOG_BATCHES:
-        result = run_failover_experiment(protocol, scheme, k)
-        pts.append((result.observed_backlog_bytes / 1024.0, result.failover_latency))
-    return pts
+    tasks = failover_grid((protocol,), (scheme,), BACKLOG_BATCHES)
+    return failover_series(execute(tasks))[scheme][protocol]
 
 
 @pytest.mark.parametrize("scheme", ["md5-rsa1024", "md5-rsa1536", "sha1-dsa1024"])

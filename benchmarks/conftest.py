@@ -8,18 +8,15 @@ regression harness for the reproduction.  Run with::
     pytest benchmarks/ --benchmark-only
 
 Add ``-s`` to see the regenerated series printed as tables.
+
+The sweep vocabulary (interval grids, table rendering, the one-shot
+benchmark wrapper) lives in :mod:`repro.harness.sweeps`, shared with
+the parallel runner and the ``python -m repro suite`` CLI; the names
+below are re-exported for convenience.
 """
 
 from __future__ import annotations
 
+from repro.harness.sweeps import run_once, series_table
 
-def series_table(title: str, series: dict[str, list[tuple[float, float]]],
-                 xlabel: str, ylabel: str) -> str:
-    from repro.harness.report import render_series
-
-    return render_series(title, xlabel, ylabel, series)
-
-
-def run_once(benchmark, fn):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+__all__ = ["run_once", "series_table"]

@@ -1,12 +1,17 @@
-"""Command-line entry point: ``python -m repro <figure>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
 A thin wrapper over :mod:`repro.harness.experiments`'s CLI so the
-package itself is runnable.
+package itself is runnable; also the ``repro`` console-script target.
 """
 
 import sys
 
-from repro.harness.experiments import main
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.harness.experiments import main as _main
+
+    return _main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

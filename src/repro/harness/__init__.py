@@ -8,7 +8,14 @@ figures.
   extraction from traces;
 * :mod:`~repro.harness.experiments` — one runner per paper artefact
   (Figure 4, Figure 5, Figure 6, the f = 3 discussion), with a CLI:
-  ``python -m repro.harness.experiments fig4``;
+  ``python -m repro fig4`` / ``python -m repro suite``;
+* :mod:`~repro.harness.runner` — pure sweep tasks executed across a
+  worker-process pool (``--jobs N``);
+* :mod:`~repro.harness.artifact` — machine-readable ``BENCH_*.json``
+  benchmark artifacts;
+* :mod:`~repro.harness.baseline` — perf-regression comparator over
+  artifacts;
+* :mod:`~repro.harness.sweeps` — shared sweep constants and helpers;
 * :mod:`~repro.harness.report` — plain-text rendering of the series.
 """
 

@@ -1,7 +1,7 @@
 """Experiment runners: one per paper artefact.
 
-Each runner builds a fresh cluster, drives it, and returns plain data
-(dictionaries / dataclasses) that the benchmarks assert on and the CLI
+Each point experiment builds a fresh cluster, drives it, and returns
+plain data (dataclasses) that the benchmarks assert on and the CLI
 renders.  Paper mapping:
 
 * :func:`run_order_experiment` / :func:`fig4` — order latency vs
@@ -13,22 +13,31 @@ renders.  Paper mapping:
   raises steady-state latency and moves the saturation threshold to
   larger batching intervals.
 
+The figure-level sweeps are grids of :class:`~repro.harness.runner.
+SweepTask` executed by :mod:`repro.harness.runner` — pass ``jobs=N``
+to fan a sweep out over a worker-process pool.
+
 Run from the command line::
 
-    python -m repro.harness.experiments fig4 --quick
+    python -m repro fig4 --quick
+    python -m repro suite --figures fig4,fig5 --jobs 4 --json-dir out/
+    python -m repro compare out/BENCH_fig4.json baselines/BENCH_fig4.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import dataclass
 
+from repro.calibration import CalibrationProfile
 from repro.core.config import ProtocolConfig
+from repro.core.messages import Ack, SignedMessage
 from repro.crypto.schemes import PLAIN, scheme_by_name
 from repro.errors import ConfigError
 from repro.failures.faults import WrongDigestFault
-from repro.harness.cluster import Cluster, build_cluster
+from repro.harness.cluster import build_cluster
 from repro.harness.metrics import (
     backlog_bytes_observed,
     collect_latencies,
@@ -38,15 +47,32 @@ from repro.harness.metrics import (
     throughput_per_process,
 )
 from repro.harness.report import render_series, render_table
+from repro.harness.runner import (
+    PointResult,
+    execute,
+    f3_grid,
+    failover_grid,
+    failover_series,
+    group_series,
+    order_grid,
+    order_series,
+    print_progress,
+)
+from repro.harness.sweeps import (
+    BACKLOG_BATCHES,
+    F3_INTERVALS,
+    F3_PROTOCOLS,
+    FAILOVER_PROTOCOLS,
+    ORDER_PROTOCOLS,
+    PAPER_INTERVALS,
+    PAPER_SCHEME_NAMES,
+    QUICK_BACKLOG_BATCHES,
+    QUICK_F3_INTERVALS,
+    QUICK_INTERVALS,
+)
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
 from repro.net.message import Envelope
-from repro.core.messages import Ack, SignedMessage
 from repro.sim.trace import Tracer
-
-#: The batching intervals (seconds) the paper sweeps (40 ms .. 500 ms).
-PAPER_INTERVALS = (0.040, 0.060, 0.080, 0.100, 0.150, 0.250, 0.500)
-#: The crypto schemes of Figures 4-6, in presentation order.
-PAPER_SCHEME_NAMES = ("md5-rsa1024", "md5-rsa1536", "sha1-dsa1024")
 
 
 def _slim_tracer() -> Tracer:
@@ -90,6 +116,7 @@ def run_order_experiment(
     seed: int = 1,
     n_batches: int = 100,
     warmup_batches: int = 15,
+    calibration: CalibrationProfile | None = None,
 ) -> OrderRunResult:
     """Measure order latency and throughput at one sweep point.
 
@@ -105,7 +132,7 @@ def run_order_experiment(
         scheme=scheme,
         batching_interval=batching_interval,
     )
-    cluster = build_cluster(protocol, config=config, seed=seed)
+    cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
     # Replace the tracer before start(): actors emit via sim.trace, so
     # the slim filter applies to everything the run produces.
     cluster.sim.trace = _slim_tracer()
@@ -168,6 +195,7 @@ def run_failover_experiment(
     f: int = 2,
     seed: int = 1,
     batching_interval: float = 0.250,
+    calibration: CalibrationProfile | None = None,
 ) -> FailoverRunResult:
     """Measure fail-over latency with a controlled BackLog size.
 
@@ -187,7 +215,7 @@ def run_failover_experiment(
         scheme=scheme,
         batching_interval=batching_interval,
     )
-    cluster = build_cluster(protocol, config=config, seed=seed)
+    cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
     cluster.sim.trace = _slim_tracer()
     sim = cluster.sim
 
@@ -234,7 +262,7 @@ def run_failover_experiment(
 
 
 # ----------------------------------------------------------------------
-# Figure-level sweeps
+# Figure-level sweeps (task grids over the runner)
 # ----------------------------------------------------------------------
 def fig4(
     intervals: tuple[float, ...] = PAPER_INTERVALS,
@@ -242,22 +270,22 @@ def fig4(
     f: int = 2,
     seed: int = 1,
     n_batches: int = 100,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Order latency vs batching interval; returns
-    ``{scheme: {protocol: [(interval, latency_s), ...]}}``."""
-    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
-    for scheme in schemes:
-        per_protocol: dict[str, list[tuple[float, float]]] = {}
-        for protocol in ("ct", "sc", "bft"):
-            series = []
-            for interval in intervals:
-                result = run_order_experiment(
-                    protocol, scheme, interval, f=f, seed=seed, n_batches=n_batches
-                )
-                series.append((interval, result.latency_mean))
-            per_protocol[protocol] = series
-        out[scheme] = per_protocol
-    return out
+    ``{scheme: {protocol: [(interval, latency_s), ...]}}``.
+
+    Convenience API for one figure at a time; :func:`fig5` measures
+    the *same runs*, so regenerate both through ``python -m repro
+    suite`` (or one shared :func:`~repro.harness.runner.order_grid`)
+    to pay for the grid once."""
+    tasks = order_grid(
+        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed, n_batches=n_batches
+    )
+    return order_series(
+        execute(tasks, jobs=jobs, progress=progress), value="latency_mean"
+    )
 
 
 def fig5(
@@ -266,87 +294,98 @@ def fig5(
     f: int = 2,
     seed: int = 1,
     n_batches: int = 100,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Throughput vs batching interval; same shape as :func:`fig4`."""
-    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
-    for scheme in schemes:
-        per_protocol: dict[str, list[tuple[float, float]]] = {}
-        for protocol in ("ct", "sc", "bft"):
-            series = []
-            for interval in intervals:
-                result = run_order_experiment(
-                    protocol, scheme, interval, f=f, seed=seed, n_batches=n_batches
-                )
-                series.append((interval, result.throughput))
-            per_protocol[protocol] = series
-        out[scheme] = per_protocol
-    return out
+    tasks = order_grid(
+        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed, n_batches=n_batches
+    )
+    return order_series(
+        execute(tasks, jobs=jobs, progress=progress), value="throughput"
+    )
 
 
 def fig6(
-    backlog_batches: tuple[int, ...] = (1, 2, 3, 4, 5),
+    backlog_batches: tuple[int, ...] = BACKLOG_BATCHES,
     schemes: tuple[str, ...] = PAPER_SCHEME_NAMES,
     f: int = 2,
     seed: int = 1,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Fail-over latency vs BackLog size; returns
     ``{scheme: {protocol: [(backlog_kb, latency_s), ...]}}``."""
-    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
-    for scheme in schemes:
-        per_protocol: dict[str, list[tuple[float, float]]] = {}
-        for protocol in ("sc", "scr"):
-            series = []
-            for k in backlog_batches:
-                result = run_failover_experiment(protocol, scheme, k, f=f, seed=seed)
-                series.append(
-                    (result.observed_backlog_bytes / 1024.0, result.failover_latency)
-                )
-            per_protocol[protocol] = series
-        out[scheme] = per_protocol
-    return out
+    tasks = failover_grid(
+        FAILOVER_PROTOCOLS, schemes, backlog_batches, f=f, seed=seed
+    )
+    return failover_series(execute(tasks, jobs=jobs, progress=progress))
 
 
 def f3_scaling(
-    intervals: tuple[float, ...] = (0.060, 0.100, 0.250, 0.500),
+    intervals: tuple[float, ...] = F3_INTERVALS,
     scheme: str = "md5-rsa1024",
     seed: int = 1,
     n_batches: int = 60,
+    jobs: int = 1,
+    progress=None,
 ) -> dict[int, dict[str, list[tuple[float, float]]]]:
     """Latency sweeps at f = 2 vs f = 3 (Section 5 text observation)."""
+    tasks = f3_grid(
+        F3_PROTOCOLS, (scheme,), intervals, seed=seed, n_batches=n_batches
+    )
+    results = execute(tasks, jobs=jobs, progress=progress)
+    grouped = group_series(
+        results,
+        key=lambda p: (p.task.f, p.task.protocol),
+        point=lambda p: (p.task.batching_interval, p.result.latency_mean),
+    )
     out: dict[int, dict[str, list[tuple[float, float]]]] = {}
-    for f in (2, 3):
-        per_protocol: dict[str, list[tuple[float, float]]] = {}
-        for protocol in ("sc", "bft"):
-            series = []
-            for interval in intervals:
-                result = run_order_experiment(
-                    protocol, scheme, interval, f=f, seed=seed, n_batches=n_batches
-                )
-                series.append((interval, result.latency_mean))
-            per_protocol[protocol] = series
-        out[f] = per_protocol
+    for (f_val, protocol), series in grouped.items():
+        out.setdefault(f_val, {})[protocol] = series
     return out
 
 
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description="Reproduce the paper's figures")
-    parser.add_argument("figure", choices=["fig4", "fig5", "fig6", "f3"])
-    parser.add_argument("--quick", action="store_true", help="fewer points/batches")
-    parser.add_argument("--seed", type=int, default=1)
-    args = parser.parse_args(argv)
+FIGURES = ("fig4", "fig5", "fig6", "f3")
 
-    intervals = (0.040, 0.100, 0.500) if args.quick else PAPER_INTERVALS
-    schemes = ("md5-rsa1024",) if args.quick else PAPER_SCHEME_NAMES
-    n_batches = 30 if args.quick else 100
 
-    if args.figure == "fig4":
+def _figure_tasks(figure: str, quick: bool, seed: int):
+    """The task grid one figure regenerates (quick or full shape)."""
+    if figure in ("fig4", "fig5"):
+        return order_grid(
+            ORDER_PROTOCOLS,
+            ("md5-rsa1024",) if quick else PAPER_SCHEME_NAMES,
+            QUICK_INTERVALS if quick else PAPER_INTERVALS,
+            seed=seed,
+            n_batches=30 if quick else 100,
+        )
+    if figure == "fig6":
+        return failover_grid(
+            FAILOVER_PROTOCOLS,
+            ("md5-rsa1024",) if quick else PAPER_SCHEME_NAMES,
+            QUICK_BACKLOG_BATCHES if quick else BACKLOG_BATCHES,
+            seed=seed,
+        )
+    if figure == "f3":
+        return f3_grid(
+            F3_PROTOCOLS,
+            ("md5-rsa1024",),
+            QUICK_F3_INTERVALS if quick else F3_INTERVALS,
+            seed=seed,
+            n_batches=20 if quick else 60,
+        )
+    raise ConfigError(f"unknown figure {figure!r}; known: {FIGURES}")
+
+
+def _render_figure(figure: str, results: list[PointResult]) -> None:
+    """Print one figure's tables (and plot) from executed results."""
+    if figure == "fig4":
         from repro.harness.plots import ascii_plot
 
-        data = fig4(intervals, schemes, seed=args.seed, n_batches=n_batches)
-        for scheme, per_protocol in data.items():
+        for scheme, per_protocol in order_series(results, "latency_mean").items():
             ms_series = {
                 p: [(x, y * 1e3) for x, y in s] for p, s in per_protocol.items()
             }
@@ -361,18 +400,15 @@ def main(argv: list[str] | None = None) -> int:
                 ms_series, log_y=True,
                 xlabel="batching interval (s)", ylabel="latency (ms)",
             ))
-    elif args.figure == "fig5":
-        data = fig5(intervals, schemes, seed=args.seed, n_batches=n_batches)
-        for scheme, per_protocol in data.items():
+    elif figure == "fig5":
+        for scheme, per_protocol in order_series(results, "throughput").items():
             print(render_series(
                 f"Figure 5 — throughput vs batching interval [{scheme}]",
                 "interval (s)", "committed req/s/process",
                 per_protocol,
             ))
-    elif args.figure == "fig6":
-        backlogs = (1, 3, 5) if args.quick else (1, 2, 3, 4, 5)
-        data = fig6(backlogs, schemes, seed=args.seed)
-        for scheme, per_protocol in data.items():
+    elif figure == "fig6":
+        for scheme, per_protocol in failover_series(results).items():
             print(render_series(
                 f"Figure 6 — fail-over latency vs BackLog size [{scheme}]",
                 "backlog (KB)", "fail-over latency (ms)",
@@ -385,19 +421,187 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  {protocol}: latency ≈ {slope*1e3:.2f} ms/KB × size "
                       f"+ {intercept*1e3:.2f} ms  (r² = {r2:.3f})")
     else:
-        data = f3_scaling(seed=args.seed)
+        grouped = group_series(
+            results,
+            key=lambda p: (p.task.f, p.task.protocol),
+            point=lambda p: (p.task.batching_interval, p.result.latency_mean),
+        )
         rows = []
-        for f_val, per_protocol in data.items():
-            for protocol, series in per_protocol.items():
-                for interval, latency in series:
-                    rows.append((f_val, protocol, f"{interval*1e3:.0f}",
-                                 f"{latency*1e3:.1f}"))
+        for (f_val, protocol), series in grouped.items():
+            for interval, latency in series:
+                rows.append((f_val, protocol, f"{interval*1e3:.0f}",
+                             f"{latency*1e3:.1f}"))
         print(render_table(
             "f = 2 vs f = 3 — steady-state latency (ms)",
             ("f", "protocol", "interval (ms)", "latency (ms)"),
             rows,
         ))
+
+
+def _sweep_params(args, figure: str) -> dict:
+    return {
+        "figure": figure,
+        "quick": bool(args.quick),
+        "seed": args.seed,
+        "jobs": args.jobs,
+    }
+
+
+def _cmd_figure(figure: str, args) -> int:
+    from repro.harness.artifact import from_results, write_artifact
+
+    tasks = _figure_tasks(figure, args.quick, args.seed)
+    started = time.perf_counter()
+    results = execute(
+        tasks, jobs=args.jobs,
+        progress=print_progress if args.progress else None,
+    )
+    wall = time.perf_counter() - started
+    if args.json_dir:
+        artifact = from_results(
+            figure, results, params=_sweep_params(args, figure), wall_time_s=wall
+        )
+        path = write_artifact(artifact, args.json_dir)
+        print(f"wrote {path}", file=sys.stderr)
+    _render_figure(figure, results)
     return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.harness.artifact import (
+        artifact_path,
+        from_results,
+        load_artifact,
+        write_artifact,
+    )
+    from repro.harness.baseline import compare
+
+    figures = [name.strip() for name in args.figures.split(",") if name.strip()]
+    unknown = [name for name in figures if name not in FIGURES]
+    if unknown:
+        raise ConfigError(f"unknown figures {unknown}; known: {FIGURES}")
+
+    grids = {figure: _figure_tasks(figure, args.quick, args.seed) for figure in figures}
+    # Figures sharing identical sweep points (fig4/fig5 measure the
+    # same runs) execute each unique task once; tasks are values, so
+    # deduplication is plain hashing.
+    unique: list = []
+    seen: set = set()
+    for figure in figures:
+        for task in grids[figure]:
+            if task not in seen:
+                seen.add(task)
+                unique.append(task)
+    requested = sum(len(grid) for grid in grids.values())
+    print(
+        f"suite: {', '.join(figures)} — {requested} points requested, "
+        f"{len(unique)} unique, jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()
+    results = execute(
+        unique, jobs=args.jobs,
+        progress=None if args.no_progress else print_progress,
+    )
+    wall = time.perf_counter() - started
+    by_task = dict(zip(unique, results))
+
+    rows = []
+    artifacts = {}
+    for figure in figures:
+        figure_results = [by_task[task] for task in grids[figure]]
+        artifact = from_results(
+            figure, figure_results, params=_sweep_params(args, figure)
+        )
+        path = write_artifact(artifact, args.json_dir)
+        artifacts[figure] = artifact
+        rows.append((figure, len(figure_results),
+                     f"{artifact.wall_time_s:.1f}", str(path)))
+    print(render_table(
+        f"Benchmark suite — {len(unique)} runs in {wall:.1f}s wall",
+        ("figure", "points", "cpu time (s)", "artifact"),
+        rows,
+    ))
+
+    exit_code = 0
+    if args.baseline_dir:
+        for figure in figures:
+            base_path = artifact_path(args.baseline_dir, figure)
+            report = compare(
+                artifacts[figure], load_artifact(base_path),
+                tolerance_pct=args.tolerance,
+            )
+            print()
+            print(report.render())
+            if not report.ok:
+                exit_code = 1
+    return exit_code
+
+
+def _cmd_compare(args) -> int:
+    from repro.harness.baseline import main as baseline_main
+
+    return baseline_main(
+        [args.current, args.baseline, "--tolerance", str(args.tolerance)]
+    )
+
+
+def _add_sweep_options(parser, json_dir_default=None) -> None:
+    parser.add_argument("--quick", action="store_true", help="fewer points/batches")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, in-process)")
+    parser.add_argument("--json-dir", default=json_dir_default,
+                        help="write BENCH_<figure>.json artifacts here")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reproduce the paper's figures"
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    for figure in FIGURES:
+        figure_parser = sub.add_parser(figure, help=f"regenerate {figure}")
+        _add_sweep_options(figure_parser)
+        figure_parser.add_argument("--progress", action="store_true",
+                                   help="per-point progress on stderr")
+
+    suite = sub.add_parser(
+        "suite", help="run figure sweeps and emit BENCH_*.json artifacts"
+    )
+    _add_sweep_options(suite, json_dir_default="out")
+    suite.add_argument("--figures", default=",".join(FIGURES),
+                       help="comma-separated subset (default: all)")
+    suite.add_argument("--no-progress", action="store_true",
+                       help="suppress per-point progress lines")
+    from repro.harness.baseline import DEFAULT_TOLERANCE_PCT
+
+    suite.add_argument("--baseline-dir", default=None,
+                       help="compare artifacts against BENCH_*.json here; "
+                            "exit 1 on regression")
+    suite.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
+                       help="regression tolerance, percent (default %(default)s)")
+
+    compare_parser = sub.add_parser(
+        "compare", help="diff a BENCH_*.json artifact against a baseline"
+    )
+    compare_parser.add_argument("current")
+    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("--tolerance", type=float,
+                                default=DEFAULT_TOLERANCE_PCT,
+                                help="allowed worsening, percent")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "suite":
+            return _cmd_suite(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_figure(args.command, args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

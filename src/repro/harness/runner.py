@@ -1,0 +1,405 @@
+"""Parallel sweep execution over pure, picklable sweep tasks.
+
+The figure sweeps of :mod:`repro.harness.experiments` are grids of
+independent simulation runs: each (protocol, scheme, interval) point
+builds a fresh cluster from an explicit seed and returns plain data.
+This module turns every such point into a :class:`SweepTask` value and
+executes task grids across a ``multiprocessing`` worker pool, so a
+figure regeneration scales with cores instead of walking the grid one
+point at a time.
+
+Determinism: a task carries everything that influences its outcome
+(protocol, scheme, interval, ``f``, seed, batch counts, calibration
+profile name), and :func:`run_task` is a pure function of the task —
+the same grid therefore produces byte-identical results whether it is
+executed serially (``jobs=1``) or across any number of workers, in any
+completion order.
+
+Calibration profiles are referenced *by name* so tasks stay small and
+picklable; each worker process resolves a name to a profile once and
+reuses it for every task it runs (:func:`resolve_calibration` is
+memoised per process).
+
+Typical use::
+
+    tasks = order_grid(protocols=("ct", "sc", "bft"),
+                       schemes=("md5-rsa1024",),
+                       intervals=(0.040, 0.100, 0.500))
+    results = execute(tasks, jobs=4, progress=print_progress)
+    series = order_series(results, value="latency_mean")
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
+
+from repro.calibration import CalibrationProfile, ideal_testbed, paper_testbed
+from repro.errors import ConfigError
+
+#: Task kinds understood by :func:`run_task`.
+ORDER = "order"
+FAILOVER = "failover"
+
+#: Named calibration profiles tasks may reference.
+CALIBRATION_PROFILES: dict[str, Callable[[], CalibrationProfile]] = {
+    "paper": paper_testbed,
+    "ideal": ideal_testbed,
+}
+
+
+@lru_cache(maxsize=None)
+def resolve_calibration(name: str) -> CalibrationProfile:
+    """Resolve a profile name, once per process (workers share the
+    cached instance across all their tasks)."""
+    try:
+        factory = CALIBRATION_PROFILES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown calibration profile {name!r}; "
+            f"known: {tuple(CALIBRATION_PROFILES)}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One sweep point: a pure, picklable description of a single
+    experiment run.
+
+    ``kind`` selects the experiment: :data:`ORDER` measures order
+    latency/throughput at ``batching_interval``; :data:`FAILOVER`
+    measures fail-over latency with ``backlog_batches`` of held orders.
+    """
+
+    kind: str
+    protocol: str
+    scheme: str
+    f: int = 2
+    seed: int = 1
+    batching_interval: float | None = None
+    backlog_batches: int | None = None
+    n_batches: int = 100
+    warmup_batches: int = 15
+    calibration: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ORDER, FAILOVER):
+            raise ConfigError(f"unknown task kind {self.kind!r}")
+        if self.kind == ORDER and self.batching_interval is None:
+            raise ConfigError("order tasks need a batching_interval")
+        if self.kind == FAILOVER and self.backlog_batches is None:
+            raise ConfigError("failover tasks need backlog_batches")
+        if self.calibration not in CALIBRATION_PROFILES:
+            raise ConfigError(f"unknown calibration profile {self.calibration!r}")
+
+    @property
+    def x(self) -> float:
+        """The task's sweep-axis value (interval, or backlog batches)."""
+        if self.kind == ORDER:
+            return self.batching_interval
+        return float(self.backlog_batches)
+
+    @property
+    def point_id(self) -> str:
+        """Stable identifier used to match points across artifacts.
+
+        Every field that influences the measurement participates, so
+        sweeps of different shapes (batch counts, calibration, a
+        failover run's batching interval) can never silently compare
+        as the same point in the baseline gate.
+        """
+        if self.kind == ORDER:
+            axis = f"i{self.batching_interval:g}"
+            shape = f"n{self.n_batches}w{self.warmup_batches}"
+        else:
+            interval = 0.250 if self.batching_interval is None else self.batching_interval
+            axis = f"b{self.backlog_batches}i{interval:g}"
+            shape = None
+        parts = [
+            self.kind, self.protocol, self.scheme, f"f{self.f}", axis,
+            f"s{self.seed}",
+        ]
+        if shape is not None:
+            parts.append(shape)
+        parts.append(self.calibration)
+        return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """The outcome of one executed task.
+
+    ``result`` is the experiment's own dataclass
+    (:class:`~repro.harness.experiments.OrderRunResult` or
+    :class:`~repro.harness.experiments.FailoverRunResult`) — fully
+    deterministic for a given task.  ``wall_time`` is the worker-side
+    execution time and is the only non-deterministic field.
+    """
+
+    task: SweepTask
+    result: object
+    wall_time: float
+
+    def metrics(self) -> dict[str, float]:
+        """The measured quantities, flattened for artifacts."""
+        r = self.result
+        if self.task.kind == ORDER:
+            return {
+                "latency_mean": r.latency_mean,
+                "latency_p50": r.latency_p50,
+                "latency_p95": r.latency_p95,
+                "throughput": r.throughput,
+                "batches_measured": float(r.batches_measured),
+            }
+        return {
+            "failover_latency": r.failover_latency,
+            "observed_backlog_bytes": r.observed_backlog_bytes,
+        }
+
+
+def run_task(task: SweepTask) -> PointResult:
+    """Execute one sweep point; pure in everything but wall time."""
+    from repro.harness import experiments
+
+    started = time.perf_counter()
+    calibration = resolve_calibration(task.calibration)
+    if task.kind == ORDER:
+        result = experiments.run_order_experiment(
+            task.protocol,
+            task.scheme,
+            task.batching_interval,
+            f=task.f,
+            seed=task.seed,
+            n_batches=task.n_batches,
+            warmup_batches=task.warmup_batches,
+            calibration=calibration,
+        )
+    else:
+        result = experiments.run_failover_experiment(
+            task.protocol,
+            task.scheme,
+            task.backlog_batches,
+            f=task.f,
+            seed=task.seed,
+            batching_interval=(
+                0.250 if task.batching_interval is None else task.batching_interval
+            ),
+            calibration=calibration,
+        )
+    return PointResult(task=task, result=result,
+                       wall_time=time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Pool execution with progress/ETA
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Progress:
+    """A progress snapshot delivered after each completed task."""
+
+    done: int
+    total: int
+    elapsed: float
+    last: PointResult
+
+    @property
+    def eta(self) -> float:
+        """Estimated seconds remaining, from the mean rate so far."""
+        if self.done == 0:
+            return float("inf")
+        return self.elapsed / self.done * (self.total - self.done)
+
+
+def print_progress(progress: Progress, stream=None) -> None:
+    """Default progress reporter: one stderr line per finished point."""
+    stream = stream if stream is not None else sys.stderr
+    print(
+        f"  [{progress.done}/{progress.total}] {progress.last.task.point_id} "
+        f"({progress.last.wall_time:.1f}s) "
+        f"elapsed {progress.elapsed:.1f}s eta {progress.eta:.1f}s",
+        file=stream,
+        flush=True,
+    )
+
+
+def execute(
+    tasks: Iterable[SweepTask],
+    jobs: int = 1,
+    progress: Callable[[Progress], None] | None = None,
+) -> list[PointResult]:
+    """Run every task and return results in task order.
+
+    ``jobs <= 1`` runs serially in-process (no pool, no pickling);
+    larger values fan the grid out over a worker-process pool.  Both
+    paths produce identical results for the same tasks.
+    """
+    tasks = list(tasks)
+    started = time.perf_counter()
+    if jobs <= 1 or len(tasks) <= 1:
+        results: list[PointResult] = []
+        for i, task in enumerate(tasks):
+            point = run_task(task)
+            results.append(point)
+            if progress is not None:
+                progress(Progress(done=i + 1, total=len(tasks),
+                                  elapsed=time.perf_counter() - started,
+                                  last=point))
+        return results
+
+    ordered: list[PointResult | None] = [None] * len(tasks)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = {pool.submit(run_task, task): i for i, task in enumerate(tasks)}
+        done = 0
+        for future in as_completed(futures):
+            point = future.result()
+            ordered[futures[future]] = point
+            done += 1
+            if progress is not None:
+                progress(Progress(done=done, total=len(tasks),
+                                  elapsed=time.perf_counter() - started,
+                                  last=point))
+    return list(ordered)
+
+
+# ----------------------------------------------------------------------
+# Grid builders
+# ----------------------------------------------------------------------
+def order_grid(
+    protocols: Sequence[str],
+    schemes: Sequence[str],
+    intervals: Sequence[float],
+    f: int = 2,
+    seed: int = 1,
+    n_batches: int = 100,
+    warmup_batches: int = 15,
+    calibration: str = "paper",
+) -> list[SweepTask]:
+    """The (scheme × protocol × interval) grid of Figures 4/5."""
+    return [
+        SweepTask(
+            kind=ORDER,
+            protocol=protocol,
+            scheme=scheme,
+            f=f,
+            seed=seed,
+            batching_interval=interval,
+            n_batches=n_batches,
+            warmup_batches=warmup_batches,
+            calibration=calibration,
+        )
+        for scheme in schemes
+        for protocol in protocols
+        for interval in intervals
+    ]
+
+
+def f3_grid(
+    protocols: Sequence[str],
+    schemes: Sequence[str],
+    intervals: Sequence[float],
+    fs: Sequence[int] = (2, 3),
+    seed: int = 1,
+    n_batches: int = 60,
+    warmup_batches: int = 15,
+    calibration: str = "paper",
+) -> list[SweepTask]:
+    """The (f × scheme × protocol × interval) grid of the Section 5
+    f = 3 comparison: :func:`order_grid` repeated per ``f``."""
+    return [
+        task
+        for f in fs
+        for task in order_grid(
+            protocols, schemes, intervals,
+            f=f, seed=seed, n_batches=n_batches,
+            warmup_batches=warmup_batches, calibration=calibration,
+        )
+    ]
+
+
+def failover_grid(
+    protocols: Sequence[str],
+    schemes: Sequence[str],
+    backlogs: Sequence[int],
+    f: int = 2,
+    seed: int = 1,
+    batching_interval: float = 0.250,
+    calibration: str = "paper",
+) -> list[SweepTask]:
+    """The (scheme × protocol × backlog) grid of Figure 6."""
+    return [
+        SweepTask(
+            kind=FAILOVER,
+            protocol=protocol,
+            scheme=scheme,
+            f=f,
+            seed=seed,
+            batching_interval=batching_interval,
+            backlog_batches=backlog,
+            calibration=calibration,
+        )
+        for scheme in schemes
+        for protocol in protocols
+        for backlog in backlogs
+    ]
+
+
+# ----------------------------------------------------------------------
+# Series assembly
+# ----------------------------------------------------------------------
+def group_series(
+    results: Iterable[PointResult],
+    key: Callable[[PointResult], object],
+    point: Callable[[PointResult], tuple[float, float]],
+) -> dict[object, list[tuple[float, float]]]:
+    """Group results into ``{key: [(x, y), ...]}``, sorted by x."""
+    out: dict[object, list[tuple[float, float]]] = {}
+    for result in results:
+        out.setdefault(key(result), []).append(point(result))
+    for series in out.values():
+        series.sort(key=lambda xy: xy[0])
+    return out
+
+
+def order_series(
+    results: Iterable[PointResult], value: str = "latency_mean"
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """``{scheme: {protocol: [(interval, value), ...]}}`` — the shape
+    the figure-level sweeps return.  ``value`` names an
+    :class:`~repro.harness.experiments.OrderRunResult` field.
+
+    Schemes group by the *requested* name (CT reports ``"plain"``
+    because it runs without crypto, but belongs to the panel it was
+    swept for).
+    """
+    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    grouped = group_series(
+        results,
+        key=lambda p: (p.task.scheme, p.task.protocol),
+        point=lambda p: (p.task.batching_interval, getattr(p.result, value)),
+    )
+    for (scheme, protocol), series in grouped.items():
+        out.setdefault(scheme, {})[protocol] = series
+    return out
+
+
+def failover_series(
+    results: Iterable[PointResult],
+) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    """``{scheme: {protocol: [(backlog_kb, latency_s), ...]}}``."""
+    out: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    grouped = group_series(
+        results,
+        key=lambda p: (p.task.scheme, p.task.protocol),
+        point=lambda p: (
+            p.result.observed_backlog_bytes / 1024.0,
+            p.result.failover_latency,
+        ),
+    )
+    for (scheme, protocol), series in grouped.items():
+        out.setdefault(scheme, {})[protocol] = series
+    return out

@@ -1,0 +1,52 @@
+"""Shared sweep vocabulary for benchmarks, CLI and the runner.
+
+One home for the constants and small helpers that were previously
+copy-pasted between ``benchmarks/conftest.py`` and the individual
+``bench_*.py`` files: the swept batching intervals, the backlog sizes
+of Figure 6, and the table renderer the benchmarks print with.  The
+suite CLI's quick/full sweep shapes live here too, so the benchmark
+files, ``python -m repro suite`` and the tests all measure the same
+grids.
+"""
+
+from __future__ import annotations
+
+#: The batching intervals (seconds) the paper sweeps (40 ms .. 500 ms).
+PAPER_INTERVALS = (0.040, 0.060, 0.080, 0.100, 0.150, 0.250, 0.500)
+#: The crypto schemes of Figures 4-6, in presentation order.
+PAPER_SCHEME_NAMES = ("md5-rsa1024", "md5-rsa1536", "sha1-dsa1024")
+
+#: Reduced interval sweep the pytest benchmarks regenerate (keeps the
+#: suite's runtime reasonable while spanning the saturation knee).
+BENCH_INTERVALS = (0.040, 0.060, 0.100, 0.250, 0.500)
+#: Quick-mode intervals for CI smoke runs.
+QUICK_INTERVALS = (0.040, 0.100, 0.500)
+#: Steady-state / saturated ends of the sweep, used by assertions.
+STEADY_INTERVAL = 0.500
+TIGHT_INTERVAL = 0.040
+
+#: Figure 6's BackLog sizes (held ~1 KB batches), full and quick.
+BACKLOG_BATCHES = (1, 2, 3, 4, 5)
+QUICK_BACKLOG_BATCHES = (1, 3, 5)
+
+#: The f = 2 vs f = 3 comparison sweep (Section 5 text observation).
+F3_INTERVALS = (0.060, 0.100, 0.250, 0.500)
+QUICK_F3_INTERVALS = (0.100, 0.500)
+
+#: Protocol line-ups per figure.
+ORDER_PROTOCOLS = ("ct", "sc", "bft")
+FAILOVER_PROTOCOLS = ("sc", "scr")
+F3_PROTOCOLS = ("sc", "bft")
+
+
+def series_table(title: str, series: dict[str, list[tuple[float, float]]],
+                 xlabel: str, ylabel: str) -> str:
+    """Render several (x, y) series as one fixed-width table."""
+    from repro.harness.report import render_series
+
+    return render_series(title, xlabel, ylabel, series)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,15 +1,18 @@
 """CLI tests (fast: the experiment runners are monkeypatched)."""
 
+import json
+
 import pytest
 
 import repro.harness.experiments as experiments
+from repro.harness.artifact import SCHEMA_VERSION, load_artifact
 from repro.harness.experiments import FailoverRunResult, OrderRunResult, main
 
 
 @pytest.fixture
 def fast_runners(monkeypatch):
     def fake_order(protocol, scheme, interval, f=2, seed=1, n_batches=100,
-                   warmup_batches=15):
+                   warmup_batches=15, calibration=None):
         base = {"ct": 0.010, "sc": 0.040, "bft": 0.050}[protocol]
         return OrderRunResult(
             protocol=protocol, scheme=scheme, f=f, batching_interval=interval,
@@ -18,7 +21,7 @@ def fast_runners(monkeypatch):
         )
 
     def fake_failover(protocol, scheme, backlog_batches, f=2, seed=1,
-                      batching_interval=0.25):
+                      batching_interval=0.25, calibration=None):
         return FailoverRunResult(
             protocol=protocol, scheme=scheme, f=f,
             target_backlog_batches=backlog_batches,
@@ -61,3 +64,88 @@ def test_cli_f3(fast_runners, capsys):
 def test_cli_rejects_unknown_figure(fast_runners):
     with pytest.raises(SystemExit):
         main(["fig7"])
+
+
+def test_cli_figure_writes_artifact(fast_runners, tmp_path, capsys):
+    assert main(["fig4", "--quick", "--json-dir", str(tmp_path)]) == 0
+    artifact = load_artifact(tmp_path / "BENCH_fig4.json")
+    assert artifact.figure == "fig4"
+    assert artifact.schema_version == SCHEMA_VERSION
+    assert len(artifact.points) == 9  # 3 protocols x 3 quick intervals
+
+
+def test_cli_suite_writes_all_artifacts(fast_runners, tmp_path, capsys):
+    assert main([
+        "suite", "--quick", "--no-progress", "--json-dir", str(tmp_path),
+        "--figures", "fig4,fig5,fig6,f3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Benchmark suite" in out
+    for figure, n_points in (("fig4", 9), ("fig5", 9), ("fig6", 6), ("f3", 8)):
+        artifact = load_artifact(tmp_path / f"BENCH_{figure}.json")
+        assert artifact.figure == figure
+        assert len(artifact.points) == n_points
+        assert artifact.params["quick"] is True
+
+
+def test_cli_suite_dedupes_shared_points(fast_runners, tmp_path, capsys):
+    """fig4 and fig5 measure the same runs: the suite executes each
+    unique task once and reuses the result for both artifacts."""
+    assert main([
+        "suite", "--quick", "--no-progress", "--json-dir", str(tmp_path),
+        "--figures", "fig4,fig5",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "18 points requested, 9 unique" in err
+    fig4 = load_artifact(tmp_path / "BENCH_fig4.json")
+    fig5 = load_artifact(tmp_path / "BENCH_fig5.json")
+    assert [p["id"] for p in fig4.points] == [p["id"] for p in fig5.points]
+    assert [p["metrics"] for p in fig4.points] == [p["metrics"] for p in fig5.points]
+
+
+def test_cli_suite_rejects_unknown_figures(fast_runners, tmp_path, capsys):
+    assert main([
+        "suite", "--quick", "--json-dir", str(tmp_path), "--figures", "fig9",
+    ]) == 2
+    assert "unknown figures" in capsys.readouterr().err
+
+
+def test_cli_suite_baseline_gate(fast_runners, tmp_path, capsys):
+    """--baseline-dir turns the suite into a regression gate."""
+    baseline_dir = tmp_path / "baseline"
+    out_dir = tmp_path / "out"
+    assert main([
+        "suite", "--quick", "--no-progress", "--figures", "fig4",
+        "--json-dir", str(baseline_dir),
+    ]) == 0
+    # Same sweep vs itself: identical metrics, gate passes.
+    assert main([
+        "suite", "--quick", "--no-progress", "--figures", "fig4",
+        "--json-dir", str(out_dir), "--baseline-dir", str(baseline_dir),
+    ]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_cli_compare_pass_and_fail(fast_runners, tmp_path, capsys):
+    assert main([
+        "suite", "--quick", "--no-progress", "--figures", "fig4",
+        "--json-dir", str(tmp_path),
+    ]) == 0
+    path = tmp_path / "BENCH_fig4.json"
+    assert main(["compare", str(path), str(path)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+    # Inject a 50% latency regression into a copy and expect failure.
+    data = json.loads(path.read_text())
+    data["points"][0]["metrics"]["latency_mean"] *= 1.5
+    worse = tmp_path / "BENCH_fig4_worse.json"
+    worse.write_text(json.dumps(data))
+    assert main(["compare", str(worse), str(path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_cli_compare_missing_file(fast_runners, tmp_path, capsys):
+    assert main([
+        "compare", str(tmp_path / "nope.json"), str(tmp_path / "nope.json"),
+    ]) == 2
+    assert "error" in capsys.readouterr().err

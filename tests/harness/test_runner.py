@@ -1,0 +1,260 @@
+"""Tests for the parallel sweep runner, artifacts and the baseline gate.
+
+The heart of the contract: a sweep grid is a list of pure tasks, so
+executing it across a worker pool must produce results identical to
+the serial path; an artifact must survive a JSON round trip; and the
+baseline comparator must catch an injected regression.
+"""
+
+import pickle
+
+import pytest
+
+from dataclasses import replace
+
+from repro.errors import ConfigError
+from repro.harness.artifact import (
+    SCHEMA_VERSION,
+    from_results,
+    load_artifact,
+    validate,
+    write_artifact,
+)
+from repro.harness.baseline import compare, metric_direction
+from repro.harness.runner import (
+    Progress,
+    SweepTask,
+    execute,
+    f3_grid,
+    failover_grid,
+    order_grid,
+    order_series,
+    resolve_calibration,
+    run_task,
+)
+
+#: A small but real grid: two protocols, two intervals, tiny batches.
+GRID = order_grid(
+    ("ct", "sc"), ("md5-rsa1024",), (0.100, 0.250),
+    n_batches=8, warmup_batches=2,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return execute(GRID, jobs=1)
+
+
+# ----------------------------------------------------------------------
+# SweepTask semantics
+# ----------------------------------------------------------------------
+def test_task_is_picklable_and_hashable():
+    task = GRID[0]
+    assert pickle.loads(pickle.dumps(task)) == task
+    assert len({*GRID, *GRID}) == len(GRID)
+
+
+def test_task_validation():
+    with pytest.raises(ConfigError):
+        SweepTask(kind="mystery", protocol="sc", scheme="md5-rsa1024")
+    with pytest.raises(ConfigError):
+        SweepTask(kind="order", protocol="sc", scheme="md5-rsa1024")
+    with pytest.raises(ConfigError):
+        SweepTask(kind="failover", protocol="sc", scheme="md5-rsa1024")
+    with pytest.raises(ConfigError):
+        SweepTask(kind="order", protocol="sc", scheme="md5-rsa1024",
+                  batching_interval=0.1, calibration="warp-speed")
+
+
+def test_point_ids_are_stable_and_unique():
+    ids = [task.point_id for task in GRID]
+    assert len(set(ids)) == len(ids)
+    assert ids[0] == "order/ct/md5-rsa1024/f2/i0.1/s1/n8w2/paper"
+
+
+def test_point_ids_distinguish_sweep_shapes():
+    """Different batch counts / calibrations must never collide in the
+    baseline gate."""
+    base = GRID[0]
+    variants = {
+        base.point_id,
+        replace(base, n_batches=100).point_id,
+        replace(base, warmup_batches=5).point_id,
+        replace(base, calibration="ideal").point_id,
+        replace(base, seed=2).point_id,
+    }
+    assert len(variants) == 5
+
+
+def test_grid_shapes():
+    assert len(GRID) == 4  # 2 protocols x 1 scheme x 2 intervals
+    fo = failover_grid(("sc", "scr"), ("md5-rsa1024",), (1, 3))
+    assert len(fo) == 4
+    assert all(task.kind == "failover" for task in fo)
+    assert fo[0].point_id == "failover/sc/md5-rsa1024/f2/b1i0.25/s1/paper"
+    f3 = f3_grid(("sc", "bft"), ("md5-rsa1024",), (0.1, 0.5))
+    assert len(f3) == 8  # 2 f-values x 2 protocols x 2 intervals
+    assert sorted({task.f for task in f3}) == [2, 3]
+
+
+def test_calibration_resolution_is_cached():
+    assert resolve_calibration("paper") is resolve_calibration("paper")
+    with pytest.raises(ConfigError):
+        resolve_calibration("no-such-testbed")
+
+
+# ----------------------------------------------------------------------
+# (a) parallel execution == serial execution
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial(serial_results):
+    """A 2-worker pool must reproduce the serial sweep exactly: every
+    task carries its own seed, so results are independent of worker
+    placement and completion order."""
+    parallel = execute(GRID, jobs=2)
+    assert [p.task for p in parallel] == GRID
+    assert [p.result for p in parallel] == [p.result for p in serial_results]
+
+
+def test_serial_execution_is_deterministic(serial_results):
+    again = execute(GRID, jobs=1)
+    assert [p.result for p in again] == [p.result for p in serial_results]
+
+
+def test_progress_reporting(serial_results):
+    snapshots: list[Progress] = []
+    execute(GRID[:2], jobs=1, progress=snapshots.append)
+    assert [s.done for s in snapshots] == [1, 2]
+    assert all(s.total == 2 for s in snapshots)
+    assert snapshots[-1].eta == 0.0
+    assert snapshots[0].eta > 0.0
+    assert snapshots[0].last.wall_time > 0.0
+
+
+def test_order_series_shape(serial_results):
+    series = order_series(serial_results, value="latency_mean")
+    assert set(series) == {"md5-rsa1024"}
+    assert set(series["md5-rsa1024"]) == {"ct", "sc"}
+    for pts in series["md5-rsa1024"].values():
+        assert [x for x, _ in pts] == [0.100, 0.250]
+
+
+def test_failover_task_runs_and_reports_metrics():
+    task = failover_grid(("sc",), ("md5-rsa1024",), (1,))[0]
+    point = run_task(task)
+    metrics = point.metrics()
+    assert metrics["failover_latency"] > 0
+    assert metrics["observed_backlog_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# (b) artifact round trip through the comparator
+# ----------------------------------------------------------------------
+def test_artifact_roundtrip_through_comparator(serial_results, tmp_path):
+    artifact = from_results("fig4", serial_results, params={"quick": True})
+    path = write_artifact(artifact, tmp_path)
+    assert path.name == "BENCH_fig4.json"
+    loaded = load_artifact(path)
+    assert loaded.schema_version == SCHEMA_VERSION
+    assert loaded.figure == "fig4"
+    assert loaded.params == {"quick": True}
+    assert [p["id"] for p in loaded.points] == [t.point_id for t in GRID]
+    # The round-tripped artifact diffs clean against the original.
+    report = compare(loaded, artifact)
+    assert report.ok
+    assert report.deltas and all(d.delta_pct == 0.0 for d in report.deltas)
+    assert not report.missing_points and not report.new_points
+
+
+def test_artifact_validation_rejects_bad_documents():
+    with pytest.raises(ConfigError):
+        validate({"schema_version": SCHEMA_VERSION})  # missing keys
+    with pytest.raises(ConfigError):
+        validate({key: None for key in (
+            "schema_version", "figure", "git_sha", "created_at",
+            "wall_time_s", "env", "params", "points",
+        )} | {"schema_version": 999, "points": []})
+
+
+# ----------------------------------------------------------------------
+# (c) the comparator flags an injected regression
+# ----------------------------------------------------------------------
+def _with_scaled_metric(artifact, metric, factor):
+    points = [dict(p, metrics=dict(p["metrics"])) for p in artifact.points]
+    points[0]["metrics"][metric] *= factor
+    return replace(artifact, points=points)
+
+
+def test_comparator_flags_latency_regression(serial_results):
+    artifact = from_results("fig4", serial_results)
+    worse = _with_scaled_metric(artifact, "latency_mean", 1.5)
+    report = compare(worse, artifact)
+    assert not report.ok
+    regressed = report.regressions
+    assert len(regressed) == 1
+    assert regressed[0].metric == "latency_mean"
+    assert regressed[0].delta_pct == pytest.approx(50.0)
+
+
+def test_comparator_flags_throughput_drop(serial_results):
+    artifact = from_results("fig4", serial_results)
+    worse = _with_scaled_metric(artifact, "throughput", 0.5)
+    assert not compare(worse, artifact).ok
+
+
+def test_comparator_accepts_improvements(serial_results):
+    artifact = from_results("fig4", serial_results)
+    better = _with_scaled_metric(artifact, "latency_mean", 0.5)
+    assert compare(better, artifact).ok
+
+
+def test_comparator_tolerance(serial_results):
+    artifact = from_results("fig4", serial_results)
+    slightly_worse = _with_scaled_metric(artifact, "latency_mean", 1.05)
+    assert compare(slightly_worse, artifact, tolerance_pct=10.0).ok
+    assert not compare(slightly_worse, artifact, tolerance_pct=1.0).ok
+
+
+def test_comparator_flags_vanished_gated_metric(serial_results):
+    """A gated metric the baseline measured but the current run no
+    longer reports is lost coverage, not a pass."""
+    artifact = from_results("fig4", serial_results)
+    points = [dict(p, metrics=dict(p["metrics"])) for p in artifact.points]
+    del points[0]["metrics"]["latency_mean"]
+    stripped = replace(artifact, points=points)
+    report = compare(stripped, artifact)
+    assert not report.ok
+    assert report.missing_metrics == [f"{points[0]['id']}:latency_mean"]
+    # Ungated metrics may come and go freely.
+    points2 = [dict(p, metrics=dict(p["metrics"])) for p in artifact.points]
+    del points2[0]["metrics"]["batches_measured"]
+    assert compare(replace(artifact, points=points2), artifact).ok
+
+
+def test_validate_rejects_duplicate_point_ids(serial_results, tmp_path):
+    artifact = from_results("fig4", serial_results)
+    doubled = replace(artifact, points=artifact.points + artifact.points[:1])
+    with pytest.raises(ConfigError, match="duplicate point ids"):
+        validate(doubled.to_dict())
+
+
+def test_comparator_flags_missing_points(serial_results):
+    artifact = from_results("fig4", serial_results)
+    truncated = replace(artifact, points=artifact.points[1:])
+    report = compare(truncated, artifact)
+    assert not report.ok
+    assert report.missing_points == [artifact.points[0]["id"]]
+
+
+def test_comparator_rejects_figure_mismatch(serial_results):
+    fig4 = from_results("fig4", serial_results)
+    fig5 = from_results("fig5", serial_results)
+    with pytest.raises(ConfigError):
+        compare(fig4, fig5)
+
+
+def test_metric_directions():
+    assert metric_direction("latency_mean") == "lower"
+    assert metric_direction("failover_latency") == "lower"
+    assert metric_direction("throughput") == "higher"
+    assert metric_direction("batches_measured") is None
+    assert metric_direction("observed_backlog_bytes") is None
