@@ -5,17 +5,27 @@ Sweeps three batching intervals for each protocol under MD5+RSA-1024
 and prints the paper's comparison: CT cheapest (crash faults only),
 SC in the middle, BFT slowest and first into saturation.
 
+The protocol line-up comes straight from the plugin registry
+(:mod:`repro.protocols`) — register a new protocol and it appears in
+this comparison without touching the sweep code.
+
 Run:  python examples/compare_protocols.py        (~1 minute)
 """
 
+import repro.protocols as protocols
 from repro.harness.experiments import run_order_experiment
 from repro.harness.report import render_table
 
 
 def main() -> None:
     intervals = (0.060, 0.100, 0.250)
+    # Every registered plugin joins the comparison; SCR is skipped only
+    # because its failure-free behaviour matches SC (it would double
+    # the runtime to show an identical line).
+    line_up = [name for name in protocols.names() if name != "scr"]
     rows = []
-    for protocol in ("ct", "sc", "bft"):
+    for protocol in line_up:
+        plugin = protocols.get(protocol)
         for interval in intervals:
             result = run_order_experiment(
                 protocol, "md5-rsa1024", interval,
@@ -23,16 +33,17 @@ def main() -> None:
             )
             rows.append((
                 protocol,
+                str(plugin.n(result.f)),
                 f"{interval * 1e3:.0f}",
                 f"{result.latency_mean * 1e3:.1f}",
                 f"{result.throughput:.0f}",
             ))
     print(render_table(
         "CT vs SC vs BFT under MD5+RSA-1024 (f = 2, saturating clients)",
-        ("protocol", "interval (ms)", "latency (ms)", "throughput (req/s)"),
+        ("protocol", "n", "interval (ms)", "latency (ms)", "throughput (req/s)"),
         rows,
     ))
-    by_key = {(r[0], r[1]): float(r[2]) for r in rows}
+    by_key = {(r[0], r[2]): float(r[3]) for r in rows}
     print(
         "\nat 250 ms (steady state): "
         f"CT {by_key[('ct', '250')]:.1f} ms  <  "

@@ -1,32 +1,46 @@
 #!/usr/bin/env python3
 """Fail-over demo: a Byzantine coordinator is caught by its shadow.
 
-Replica ``p1`` (the coordinator) starts signing order batches whose
+The whole experiment is one declarative :class:`repro.ScenarioSpec`:
+the coordinator replica (``target="coordinator"`` — resolved through
+the protocol plugin, here ``p1``) starts signing order batches whose
 request digests are corrupted — a value-domain failure.  Its shadow
 ``p1'`` detects the mismatch while checking the proposal, emits the
 doubly-signed fail-signal, and the install part (BackLog → Start →
 support tuples) moves coordination to the pair {p2, p2'}.  The deposed
 pair goes *dumb* (Section 4.3) and ordering resumes.
 
+``build_scenario`` materialises the spec but leaves the simulation in
+our hands, so the demo can walk the trace; ``run_scenario(spec)``
+would instead return the aggregate :class:`ScenarioResult` directly.
+
 Run:  python examples/failover_demo.py
 """
 
-from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
-from repro.failures.faults import WrongDigestFault
+from repro import ScenarioSpec
 from repro.harness.metrics import failover_latency
+from repro.harness.scenario import FaultSpec, WorkloadSpec, build_scenario
 
 
 def main() -> None:
-    config = ProtocolConfig(f=2, batching_interval=0.100)
-    cluster = build_cluster("sc", config=config, seed=7)
-    workload = OpenLoopWorkload(cluster, rate=120, duration=3.0)
-    workload.install()
-
-    cluster.injector.inject(cluster.process("p1"), WrongDigestFault(active_from=1.0))
-    print("injected: p1 will sign corrupted digests from t = 1.0 s\n")
+    spec = ScenarioSpec(
+        name="failover-demo",
+        protocol="sc",
+        f=2,
+        batching_interval=0.100,
+        duration=3.0,
+        drain=2.0,
+        seed=7,
+        workload=WorkloadSpec(rate=120.0),
+        faults=(FaultSpec(kind="wrong_digest", target="coordinator", at=1.0),),
+        description="shadow catches a value-domain fault at the coordinator",
+    )
+    cluster, _ = build_scenario(spec)
+    print(f"injected: {cluster.coordinator_name} will sign corrupted digests "
+          f"from t = 1.0 s\n")
 
     cluster.start()
-    cluster.run(until=5.0)
+    cluster.run(until=spec.duration + spec.drain)
 
     trace = cluster.sim.trace
     for record in trace:
@@ -36,9 +50,6 @@ def main() -> None:
         elif record.kind == "fail_signal_emitted":
             print(f"t={record.time:.3f}s  {record.fields['actor']} emitted the "
                   f"doubly-signed fail-signal ({record.fields['domain']} domain)")
-        elif record.kind == "start_computed":
-            print(f"t={record.time:.3f}s  {record.fields['actor']} computed Start "
-                  f"(start_seq {record.fields['start_seq']})")
         elif record.kind == "failover_complete":
             print(f"t={record.time:.3f}s  {record.fields['actor']} issued Start with "
                   f"f+1 signatures — new coordinator installed")

@@ -48,7 +48,11 @@ from repro.errors import (
     VerificationError,
 )
 from repro.harness.cluster import Cluster, build_cluster
+from repro.harness.scenario import ScenarioSpec, run_scenario
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
+from repro.protocols import OrderProtocol
+from repro.protocols import names as protocol_names
+from repro.protocols import register as register_protocol
 from repro.sim.kernel import Simulator
 
 __version__ = "1.0.0"
@@ -66,6 +70,7 @@ __all__ = [
     "MD5_RSA_1024",
     "MD5_RSA_1536",
     "OpenLoopWorkload",
+    "OrderProtocol",
     "PAPER_SCHEMES",
     "PLAIN",
     "ProtocolConfig",
@@ -73,6 +78,7 @@ __all__ = [
     "ReproError",
     "SHA1_DSA_1024",
     "ScProcess",
+    "ScenarioSpec",
     "ScrProcess",
     "SimulationError",
     "Simulator",
@@ -80,6 +86,9 @@ __all__ = [
     "build_cluster",
     "ideal_testbed",
     "paper_testbed",
+    "protocol_names",
+    "register_protocol",
+    "run_scenario",
     "saturating_rate",
     "scheme_by_name",
     "__version__",

@@ -5,6 +5,12 @@
 * :mod:`repro.baselines.bft` — a Castro–Liskov-style three-phase
   Byzantine fault-tolerant protocol (pre-prepare / prepare / commit),
   the comparator of Figures 4 and 5.
+
+These modules hold the process *implementations*; their deployment
+rules (replica counts, wiring, scheme resolution) live in the protocol
+plugins :class:`repro.protocols.ct.CtPlugin` and
+:class:`repro.protocols.bft.BftPlugin`, which is how the harness
+reaches them.
 """
 
 from repro.baselines.ct import CtProcess

@@ -167,6 +167,23 @@ class ProtocolConfig:
             return (replica_name(rank),)
         return (replica_name(rank), shadow_name(rank))
 
+    def require_variant(self, expected: str, protocol: str | None = None) -> None:
+        """Assert this config carries the structural variant a protocol
+        deploys with; raises a :class:`ConfigError` naming the fix.
+
+        Protocol plugins call this from ``validate()`` — the single
+        home of the protocol/variant consistency rule that used to be
+        duplicated across the cluster builder.
+        """
+        if self.variant != expected:
+            who = f"protocol {protocol!r}" if protocol else "this deployment"
+            raise ConfigError(
+                f"{who} needs config.variant={expected!r} but got "
+                f"{self.variant!r}; build the config with "
+                f"ProtocolConfig(variant={expected!r}, ...) or use the "
+                f"plugin's default_config()/configure()"
+            )
+
     def scr_candidate_rank(self, view: int) -> int:
         """SCR: coordinator-pair rank for ``view`` (views start at 1).
 

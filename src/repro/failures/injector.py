@@ -1,13 +1,49 @@
-"""Arms fault plans on processes and delay surges on links."""
+"""Arms fault plans on processes and delay surges on links.
+
+Besides the direct object API (:meth:`FaultInjector.inject` /
+:meth:`FaultInjector.surge_link`), the injector understands the
+*declarative* form scenario specs use: a fault kind name, a target
+("coordinator" resolves through the protocol plugin registry, plain
+names address processes, ``"pair:<rank>"`` addresses a pair link) and
+an activation time.
+"""
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigError
-from repro.failures.faults import DelaySurgeFault, FaultPlan
+from repro.failures.faults import (
+    CrashFault,
+    DelaySurgeFault,
+    EquivocationFault,
+    FaultPlan,
+    ForgeSignatureFault,
+    MutateEndorsementFault,
+    WithholdOrdersFault,
+    WrongDigestFault,
+)
 from repro.net.delay import SurgeableDelay
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:
+    from repro.harness.cluster import Cluster
+
+#: Declarative fault vocabulary (scenario specs name these kinds).
+FAULT_KINDS: dict[str, type[FaultPlan]] = {
+    "crash": CrashFault,
+    "wrong_digest": WrongDigestFault,
+    "withhold_orders": WithholdOrdersFault,
+    "equivocate": EquivocationFault,
+    "forge_signature": ForgeSignatureFault,
+    "mutate_endorsement": MutateEndorsementFault,
+    "delay_surge": DelaySurgeFault,
+}
+
+
+def fault_kinds() -> tuple[str, ...]:
+    """The fault kind names scenario specs may use."""
+    return tuple(FAULT_KINDS)
 
 
 class FaultInjector:
@@ -40,8 +76,7 @@ class FaultInjector:
         """Schedule a delay surge on a (pair) link."""
         if plan.until <= plan.active_from:
             raise ConfigError("surge window is empty")
-        link.surge_factor = plan.factor
-        link.add_surge(plan.active_from, plan.until)
+        link.add_surge(plan.active_from, plan.until, factor=plan.factor)
         self.sim.trace.emit(
             self.sim.now,
             "surge_injected",
@@ -49,3 +84,66 @@ class FaultInjector:
             end=plan.until,
             factor=plan.factor,
         )
+
+    # ------------------------------------------------------------------
+    # Declarative injection (scenario specs)
+    # ------------------------------------------------------------------
+    def inject_named(
+        self,
+        cluster: "Cluster",
+        kind: str,
+        target: str = "coordinator",
+        at: float = 0.0,
+        **params: Any,
+    ) -> FaultPlan:
+        """Build a fault plan from its kind name and arm it.
+
+        ``target`` is a process name, ``"coordinator"`` (resolved to
+        the cluster protocol's initial coordinator via the plugin
+        registry), or ``"pair:<rank>"`` for a pair-link delay surge.
+        Extra ``params`` are forwarded to the plan constructor (e.g.
+        ``until``/``factor`` for ``delay_surge``).
+        """
+        try:
+            plan_cls = FAULT_KINDS[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown fault kind {kind!r}; known: {fault_kinds()}"
+            ) from None
+        try:
+            plan = plan_cls(active_from=at, **params)
+        except TypeError as exc:
+            raise ConfigError(f"bad parameters for fault {kind!r}: {exc}") from None
+
+        if isinstance(plan, DelaySurgeFault):
+            self.surge_link(self._resolve_link(cluster, target), plan)
+        else:
+            self.inject(self._resolve_process(cluster, target), plan)
+        return plan
+
+    def _resolve_process(self, cluster: "Cluster", target: str) -> Any:
+        name = cluster.coordinator_name if target == "coordinator" else target
+        try:
+            return cluster.process(name)
+        except KeyError:
+            raise ConfigError(
+                f"fault target {target!r} names no process; deployed: "
+                f"{cluster.process_names}"
+            ) from None
+
+    def _resolve_link(self, cluster: "Cluster", target: str) -> SurgeableDelay:
+        if not target.startswith("pair:"):
+            raise ConfigError(
+                f"delay_surge targets a pair link, e.g. 'pair:1'; got {target!r}"
+            )
+        try:
+            rank = int(target.split(":", 1)[1])
+        except ValueError:
+            raise ConfigError(f"bad pair-link target {target!r}") from None
+        try:
+            return cluster.pair_links[rank]
+        except KeyError:
+            raise ConfigError(
+                f"no pair link with rank {rank}; protocol {cluster.protocol!r} "
+                f"deploys links {tuple(cluster.pair_links)}"
+            ) from None

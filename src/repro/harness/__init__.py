@@ -2,7 +2,12 @@
 figures.
 
 * :mod:`~repro.harness.cluster` — builds a complete simulated
-  deployment of any protocol (``sc``, ``scr``, ``bft``, ``ct``);
+  deployment of any protocol plugin registered in
+  :mod:`repro.protocols` (``sc``, ``scr``, ``bft``, ``ct``, ...);
+* :mod:`~repro.harness.scenario` — declarative ``ScenarioSpec``:
+  protocol + workload + faults + network + duration/seed as one
+  frozen value, runnable one-off, as runner grids, or via
+  ``python -m repro scenario``;
 * :mod:`~repro.harness.workload` — open-loop clients;
 * :mod:`~repro.harness.metrics` — latency / throughput / fail-over
   extraction from traces;
@@ -20,6 +25,15 @@ figures.
 """
 
 from repro.harness.cluster import Cluster, build_cluster
+from repro.harness.scenario import (
+    BUILTIN_SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    build_scenario,
+    load_spec,
+    run_scenario,
+    scenario_grid,
+)
 from repro.harness.metrics import (
     LatencyStats,
     collect_latencies,
@@ -32,12 +46,19 @@ from repro.harness.stats import Summary, repeat_order_experiment, summarize
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
 
 __all__ = [
+    "BUILTIN_SCENARIOS",
     "Cluster",
     "LatencyStats",
     "OpenLoopWorkload",
+    "ScenarioResult",
+    "ScenarioSpec",
     "Summary",
     "build_cluster",
+    "build_scenario",
     "collect_latencies",
+    "load_spec",
+    "run_scenario",
+    "scenario_grid",
     "failover_latency",
     "latency_stats",
     "linear_fit",

@@ -3,31 +3,36 @@
 Wires together the simulator, network (with per-pair fast links), the
 trusted dealer, the order processes of the chosen protocol, clients and
 the fault injector — the simulated analogue of Figure 1's architecture.
+
+Protocol-specific construction lives entirely in the plugins of
+:mod:`repro.protocols`; this module only assembles the substrate and
+asks the registered plugin to populate it, so any protocol registered
+with :func:`repro.protocols.register` is buildable here by name.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import repro.protocols as protocols
 from repro.calibration import CalibrationProfile, paper_testbed
-from repro.baselines.bft.replica import BftReplica
-from repro.baselines.ct import CtProcess
 from repro.core.config import ProtocolConfig
 from repro.core.client import Client
-from repro.core.messages import FailSignalBody
-from repro.core.sc import ScProcess
-from repro.core.scr import ScrProcess
 from repro.crypto.dealer import TrustedDealer
 from repro.crypto.signing import SignatureProvider
-from repro.errors import ConfigError
 from repro.failures.injector import FaultInjector
-from repro.net.addresses import client_name, replica_name
+from repro.net.addresses import client_name
 from repro.net.delay import SurgeableDelay
 from repro.net.network import Network
-from repro.net.pairlink import connect_pair
+from repro.protocols import Deployment, OrderProtocol
 from repro.sim.kernel import Simulator
 
-PROTOCOLS = ("sc", "scr", "bft", "ct")
+
+def __getattr__(name: str):
+    # Back-compat: the old hard-coded tuple is now the registry's view.
+    if name == "PROTOCOLS":
+        return protocols.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -44,6 +49,7 @@ class Cluster:
     clients: list[Client]
     injector: FaultInjector
     pair_links: dict[int, SurgeableDelay] = field(default_factory=dict)
+    plugin: OrderProtocol | None = None
 
     def process(self, name: str):
         """Look up an order process by name."""
@@ -52,6 +58,12 @@ class Cluster:
     @property
     def process_names(self) -> tuple[str, ...]:
         return tuple(self.processes)
+
+    @property
+    def coordinator_name(self) -> str:
+        """The initial coordinator/primary, per the protocol plugin."""
+        plugin = self.plugin if self.plugin is not None else protocols.get(self.protocol)
+        return plugin.initial_coordinator(self.config)
 
     def start(self) -> None:
         """Arm every process's initial timers."""
@@ -84,13 +96,7 @@ class Cluster:
 
 def order_process_names(protocol: str, config: ProtocolConfig) -> tuple[str, ...]:
     """The order-process names a protocol deploys."""
-    if protocol in ("sc", "scr"):
-        return config.process_names
-    if protocol == "ct":
-        return config.replica_names
-    if protocol == "bft":
-        return tuple(replica_name(i) for i in range(1, 3 * config.f + 2))
-    raise ConfigError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    return protocols.get(protocol).process_names(config)
 
 
 def build_cluster(
@@ -104,58 +110,33 @@ def build_cluster(
 ) -> Cluster:
     """Build a runnable deployment of the given protocol.
 
+    ``protocol`` names any plugin registered in :mod:`repro.protocols`.
     ``crypto_mode="real"`` provisions actual RSA/DSA keys (use small
     ``key_bits`` to keep key generation fast in tests); the default
     simulated provider is unforgeable and fast, with operation *times*
     charged from the calibration profile either way.
     """
-    if protocol not in PROTOCOLS:
-        raise ConfigError(f"unknown protocol {protocol!r}; known: {PROTOCOLS}")
+    plugin = protocols.get(protocol)
     if config is None:
-        config = ProtocolConfig(variant="scr" if protocol == "scr" else "sc")
-    if protocol == "scr" and config.variant != "scr":
-        raise ConfigError("protocol 'scr' needs config.variant='scr'")
-    if protocol != "scr" and config.variant == "scr":
-        raise ConfigError(f"protocol {protocol!r} needs config.variant='sc'")
+        config = plugin.default_config()
+    plugin.validate(config)
     calibration = calibration if calibration is not None else paper_testbed()
 
     sim = Simulator(seed=seed)
     network = Network(sim, default_link=calibration.lan_link())
-    names = order_process_names(protocol, config)
+    names = plugin.process_names(config)
     dealer = TrustedDealer(config.scheme, mode=crypto_mode, seed=seed, key_bits=key_bits)
     provider = dealer.provision(list(names))
 
-    processes: dict[str, object] = {}
-    pair_links: dict[int, SurgeableDelay] = {}
-
-    if protocol in ("sc", "scr"):
-        proc_cls = ScProcess if protocol == "sc" else ScrProcess
-        blanks: dict[str, tuple[FailSignalBody, object]] = {}
-        for rank in config.paired_indices:
-            first, second = config.coordinator_members(rank)
-            for holder, (body, sig) in dealer.issue_fail_signal_blanks(
-                provider, rank, first, second
-            ).items():
-                blanks[holder] = (body, sig)
-        for name in names:
-            blank = blanks.get(name)
-            processes[name] = proc_cls(
-                sim, name, network, config, provider, calibration,
-                fail_signal_blank=blank,
-            )
-        for rank in config.paired_indices:
-            first, second = config.coordinator_members(rank)
-            link = SurgeableDelay(calibration.pair_link())
-            connect_pair(network, first, second, link)
-            pair_links[rank] = link
-        if protocol == "sc":
-            _wire_suspicion_oracles(sim, processes, config)
-    elif protocol == "ct":
-        for name in names:
-            processes[name] = CtProcess(sim, name, network, config, provider, calibration)
-    else:  # bft
-        for name in names:
-            processes[name] = BftReplica(sim, name, network, config, provider, calibration)
+    deployment = Deployment(
+        sim=sim,
+        network=network,
+        config=config,
+        calibration=calibration,
+        provider=provider,
+        dealer=dealer,
+    )
+    plugin.build(deployment)
 
     clients = [
         Client(
@@ -179,29 +160,9 @@ def build_cluster(
         config=config,
         calibration=calibration,
         provider=provider,
-        processes=processes,
+        processes=deployment.processes,
         clients=clients,
         injector=injector,
-        pair_links=pair_links,
+        pair_links=deployment.pair_links,
+        plugin=plugin,
     )
-
-
-def _wire_suspicion_oracles(
-    sim: Simulator, processes: dict[str, object], config: ProtocolConfig
-) -> None:
-    """Assumption 3(a)(i) made operational: a pair member's time-domain
-    suspicion is confirmed against the counterpart's true fault state,
-    so correct members never falsely suspect each other (the delay
-    estimates are "accurate")."""
-    for rank in config.paired_indices:
-        first, second = config.coordinator_members(rank)
-        a, b = processes[first], processes[second]
-
-        def oracle_for(other):
-            def oracle() -> bool:
-                return other.fault.active(sim.now)
-
-            return oracle
-
-        a.suspicion_oracle = oracle_for(b)
-        b.suspicion_oracle = oracle_for(a)

@@ -31,10 +31,9 @@ import sys
 import time
 from dataclasses import dataclass
 
+import repro.protocols as protocols
 from repro.calibration import CalibrationProfile
-from repro.core.config import ProtocolConfig
 from repro.core.messages import Ack, SignedMessage
-from repro.crypto.schemes import PLAIN, scheme_by_name
 from repro.errors import ConfigError
 from repro.failures.faults import WrongDigestFault
 from repro.harness.cluster import build_cluster
@@ -125,12 +124,9 @@ def run_order_experiment(
     full), and each point aggregates ``n_batches`` measured batches
     after warm-up — the paper averages 100 experimental results.
     """
-    scheme = PLAIN if protocol == "ct" else scheme_by_name(scheme_name)
-    config = ProtocolConfig(
-        f=f,
-        variant="scr" if protocol == "scr" else "sc",
-        scheme=scheme,
-        batching_interval=batching_interval,
+    plugin = protocols.get(protocol)
+    config = plugin.configure(
+        scheme=scheme_name, f=f, batching_interval=batching_interval
     )
     cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
     # Replace the tracer before start(): actors emit via sim.trace, so
@@ -165,7 +161,7 @@ def run_order_experiment(
     throughput = throughput_per_process(cluster.sim.trace, window_start, window_end)
     return OrderRunResult(
         protocol=protocol,
-        scheme=scheme_name if protocol != "ct" else "plain",
+        scheme=plugin.reported_scheme(scheme_name),
         f=f,
         batching_interval=batching_interval,
         latency_mean=stats.mean,
@@ -206,14 +202,12 @@ def run_failover_experiment(
     fail-signals.  BackLogs therefore carry ``backlog_batches`` KB of
     uncommitted orders — the paper's 1..5 KB x-axis.
     """
-    if protocol not in ("sc", "scr"):
-        raise ConfigError("fail-over experiment applies to sc/scr only")
-    scheme = scheme_by_name(scheme_name)
-    config = ProtocolConfig(
-        f=f,
-        variant=protocol,
-        scheme=scheme,
-        batching_interval=batching_interval,
+    plugin = protocols.get(protocol)
+    if not plugin.supports_failover:
+        capable = "/".join(protocols.failover_capable())
+        raise ConfigError(f"fail-over experiment applies to {capable} only")
+    config = plugin.configure(
+        scheme=scheme_name, f=f, batching_interval=batching_interval
     )
     cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
     cluster.sim.trace = _slim_tracer()
@@ -243,7 +237,7 @@ def run_failover_experiment(
         if record.kind == "failover_complete"
         else None
     )
-    coordinator = cluster.process("p1")
+    coordinator = cluster.process(plugin.initial_coordinator(config))
     cluster.injector.inject(coordinator, WrongDigestFault(active_from=fault_at))
     cluster.start()
     cluster.run(until=duration + 4.0)
@@ -546,6 +540,25 @@ def _cmd_compare(args) -> int:
     )
 
 
+def _cmd_protocols(args) -> int:
+    rows = [
+        (
+            plugin.name,
+            f"{plugin.n(args.f)} (f={args.f})",
+            "yes" if plugin.uses_pairs else "no",
+            "yes" if plugin.supports_failover else "no",
+            plugin.description,
+        )
+        for plugin in protocols.all_protocols()
+    ]
+    print(render_table(
+        "Registered protocol plugins (repro.protocols)",
+        ("name", "n(f)", "pairs", "failover", "description"),
+        rows,
+    ))
+    return 0
+
+
 def _add_sweep_options(parser, json_dir_default=None) -> None:
     parser.add_argument("--quick", action="store_true", help="fewer points/batches")
     parser.add_argument("--seed", type=int, default=1)
@@ -592,12 +605,31 @@ def main(argv: list[str] | None = None) -> int:
                                 default=DEFAULT_TOLERANCE_PCT,
                                 help="allowed worsening, percent")
 
+    from repro.harness.scenario import add_scenario_arguments
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="run a declarative scenario (builtin or spec file)"
+    )
+    add_scenario_arguments(scenario_parser)
+
+    protocols_parser = sub.add_parser(
+        "protocols", help="list registered protocol plugins"
+    )
+    protocols_parser.add_argument("--f", type=int, default=2,
+                                  help="fault tolerance shown in the n(f) column")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "suite":
             return _cmd_suite(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "scenario":
+            from repro.harness.scenario import cmd_scenario
+
+            return cmd_scenario(args)
+        if args.command == "protocols":
+            return _cmd_protocols(args)
         return _cmd_figure(args.command, args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

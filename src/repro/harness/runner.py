@@ -44,6 +44,7 @@ from repro.errors import ConfigError
 #: Task kinds understood by :func:`run_task`.
 ORDER = "order"
 FAILOVER = "failover"
+SCENARIO = "scenario"
 
 #: Named calibration profiles tasks may reference.
 CALIBRATION_PROFILES: dict[str, Callable[[], CalibrationProfile]] = {
@@ -73,7 +74,10 @@ class SweepTask:
 
     ``kind`` selects the experiment: :data:`ORDER` measures order
     latency/throughput at ``batching_interval``; :data:`FAILOVER`
-    measures fail-over latency with ``backlog_batches`` of held orders.
+    measures fail-over latency with ``backlog_batches`` of held orders;
+    :data:`SCENARIO` runs a declarative
+    :class:`~repro.harness.scenario.ScenarioSpec` (carried in
+    ``scenario``, itself frozen and picklable).
     """
 
     kind: str
@@ -86,22 +90,27 @@ class SweepTask:
     n_batches: int = 100
     warmup_batches: int = 15
     calibration: str = "paper"
+    scenario: object | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (ORDER, FAILOVER):
+        if self.kind not in (ORDER, FAILOVER, SCENARIO):
             raise ConfigError(f"unknown task kind {self.kind!r}")
         if self.kind == ORDER and self.batching_interval is None:
             raise ConfigError("order tasks need a batching_interval")
         if self.kind == FAILOVER and self.backlog_batches is None:
             raise ConfigError("failover tasks need backlog_batches")
+        if self.kind == SCENARIO and self.scenario is None:
+            raise ConfigError("scenario tasks need a ScenarioSpec")
         if self.calibration not in CALIBRATION_PROFILES:
             raise ConfigError(f"unknown calibration profile {self.calibration!r}")
 
     @property
     def x(self) -> float:
-        """The task's sweep-axis value (interval, or backlog batches)."""
+        """The task's sweep-axis value (interval, backlog, or seed)."""
         if self.kind == ORDER:
             return self.batching_interval
+        if self.kind == SCENARIO:
+            return float(self.seed)
         return float(self.backlog_batches)
 
     @property
@@ -113,6 +122,23 @@ class SweepTask:
         failover run's batching interval) can never silently compare
         as the same point in the baseline gate.
         """
+        if self.kind == SCENARIO:
+            # The spec digest covers every field (faults, workload,
+            # duration, config overrides), so two different scenarios
+            # sharing a name can never compare as the same point.
+            import hashlib
+            import json
+
+            from repro.harness.scenario import spec_to_dict
+
+            payload = json.dumps(
+                spec_to_dict(self.scenario), sort_keys=True, default=str
+            )
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]
+            return "/".join((
+                self.kind, self.scenario.name, self.protocol, self.scheme,
+                f"f{self.f}", f"s{self.seed}", self.calibration, digest,
+            ))
         if self.kind == ORDER:
             axis = f"i{self.batching_interval:g}"
             shape = f"n{self.n_batches}w{self.warmup_batches}"
@@ -148,6 +174,8 @@ class PointResult:
     def metrics(self) -> dict[str, float]:
         """The measured quantities, flattened for artifacts."""
         r = self.result
+        if self.task.kind == SCENARIO:
+            return r.metrics()
         if self.task.kind == ORDER:
             return {
                 "latency_mean": r.latency_mean,
@@ -167,6 +195,11 @@ def run_task(task: SweepTask) -> PointResult:
     from repro.harness import experiments
 
     started = time.perf_counter()
+    if task.kind == SCENARIO:
+        from repro.harness.scenario import run_scenario
+
+        return PointResult(task=task, result=run_scenario(task.scenario),
+                           wall_time=time.perf_counter() - started)
     calibration = resolve_calibration(task.calibration)
     if task.kind == ORDER:
         result = experiments.run_order_experiment(

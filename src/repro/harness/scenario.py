@@ -1,0 +1,646 @@
+"""Declarative scenarios: one frozen spec from protocol to metrics.
+
+A :class:`ScenarioSpec` composes everything one simulated study needs —
+protocol (any plugin registered in :mod:`repro.protocols`), config
+overrides, an open-loop workload with optional bursts, a fault
+schedule, network conditions and duration/seed — as a frozen,
+picklable value.  Specs run one-off (:func:`run_scenario`), as a
+seed grid over the multiprocessing runner (:func:`scenario_grid` +
+:func:`repro.harness.runner.execute`), or from the command line::
+
+    python -m repro scenario --list
+    python -m repro scenario bursty-load
+    python -m repro scenario my_scenario.toml --seeds 1,2,3 --jobs 4
+    python -m repro scenario delay-surge-recovery --dump > spec.json
+
+Spec files are JSON or TOML mirroring the dataclasses, e.g.::
+
+    name = "surge-then-recover"
+    protocol = "scr"
+    duration = 4.0
+
+    [workload]
+    rate = 150.0
+
+    [[faults]]
+    kind = "delay_surge"
+    target = "pair:1"
+    at = 1.0
+    until = 1.8
+    factor = 40000.0
+
+The built-in scenarios (:data:`BUILTIN_SCENARIOS`) are deliberately
+*non-paper* workloads — bursty load, cascading pair failures, false
+suspicion with recovery, a closed SMR loop — proving the API reaches
+studies the four figures never ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+import repro.protocols as protocols
+from repro.errors import ConfigError
+from repro.harness.cluster import Cluster, build_cluster
+from repro.harness.metrics import (
+    collect_latencies,
+    failover_latency,
+    latency_stats,
+    throughput_per_process,
+)
+from repro.harness.runner import resolve_calibration
+from repro.harness.workload import OpenLoopWorkload, saturating_rate
+from repro.sim.trace import Tracer
+
+# ----------------------------------------------------------------------
+# Spec dataclasses (frozen, picklable, hashable)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """One extra open-loop burst on top of the base workload."""
+
+    at: float
+    duration: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigError("burst 'at' must be >= 0")
+        if self.duration <= 0 or self.rate <= 0:
+            raise ConfigError("burst duration and rate must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Open-loop client load.
+
+    ``rate`` is aggregate requests/second; ``None`` derives the
+    saturating rate for the scenario's batching interval (the paper's
+    keep-every-batch-full pressure).  ``duration`` defaults to the
+    scenario duration.  ``bursts`` add further open-loop phases, each
+    drawing from its own RNG stream so phases compose independently.
+    """
+
+    rate: float | None = None
+    duration: float | None = None
+    spacing: str = "poisson"
+    headroom: float = 1.3
+    bursts: tuple[BurstSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.spacing not in ("poisson", "uniform"):
+            raise ConfigError(f"unknown spacing {self.spacing!r}")
+        if self.rate is not None and self.rate <= 0:
+            raise ConfigError("workload rate must be positive")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``kind`` names an entry of
+    :data:`repro.failures.injector.FAULT_KINDS`; ``target`` is a
+    process name, ``"coordinator"`` (resolved through the protocol
+    plugin), or ``"pair:<rank>"`` for delay surges; ``until`` and
+    ``factor`` apply to ``delay_surge`` only.
+    """
+
+    kind: str
+    target: str = "coordinator"
+    at: float = 0.0
+    until: float | None = None
+    factor: float | None = None
+
+    def params(self) -> dict[str, float]:
+        """The kind-specific constructor parameters that were set."""
+        out: dict[str, float] = {}
+        if self.until is not None:
+            out["until"] = self.until
+        if self.factor is not None:
+            out["factor"] = self.factor
+        return out
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """Network/testbed conditions: a named calibration profile (see
+    :data:`repro.harness.runner.CALIBRATION_PROFILES`)."""
+
+    calibration: str = "paper"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, runnable experiment description."""
+
+    name: str
+    protocol: str = "sc"
+    f: int = 2
+    scheme: str = "md5-rsa1024"
+    batching_interval: float = 0.100
+    duration: float = 3.0
+    drain: float = 2.0
+    seed: int = 1
+    n_clients: int = 2
+    workload: WorkloadSpec = WorkloadSpec()
+    faults: tuple[FaultSpec, ...] = ()
+    net: NetSpec = NetSpec()
+    config: tuple[tuple[str, object], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario needs a name")
+        if self.duration <= 0:
+            raise ConfigError("scenario duration must be positive")
+        if self.drain < 0:
+            raise ConfigError("scenario drain must be >= 0")
+        # Normalise the override order so semantically identical specs
+        # compare (and round-trip) equal however they were written.
+        object.__setattr__(self, "config", tuple(sorted(self.config)))
+
+    def with_(self, **changes) -> "ScenarioSpec":
+        """A copy with the given fields replaced (grid helper)."""
+        return replace(self, **changes)
+
+    def config_overrides(self) -> dict[str, object]:
+        """Extra :class:`ProtocolConfig` fields as a mapping."""
+        return dict(self.config)
+
+
+# ----------------------------------------------------------------------
+# Dict / JSON / TOML conversion
+# ----------------------------------------------------------------------
+
+
+def _build(cls, data: dict, where: str):
+    """Construct a spec dataclass from a mapping, rejecting unknown
+    keys with a message naming the valid ones."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"{where} must be a table/object, got {type(data).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown {where} field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+    return cls(**data)
+
+
+def spec_from_dict(data: dict) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from plain data (JSON/TOML shape)."""
+    data = dict(data)
+    workload = data.pop("workload", None)
+    if workload is not None:
+        workload = dict(workload)
+        bursts = workload.pop("bursts", ())
+        workload["bursts"] = tuple(
+            _build(BurstSpec, burst, "workload burst") for burst in bursts
+        )
+        data["workload"] = _build(WorkloadSpec, workload, "workload")
+    faults = data.pop("faults", None)
+    if faults is not None:
+        data["faults"] = tuple(_build(FaultSpec, fault, "fault") for fault in faults)
+    net = data.pop("net", None)
+    if net is not None:
+        data["net"] = _build(NetSpec, net, "net")
+    overrides = data.pop("config", None)
+    if overrides is not None:
+        if not isinstance(overrides, dict):
+            raise ConfigError("scenario 'config' must be a table of overrides")
+        data["config"] = tuple(sorted(overrides.items()))
+    return _build(ScenarioSpec, data, "scenario")
+
+
+def spec_to_dict(spec: ScenarioSpec) -> dict:
+    """The plain-data form of a spec (inverse of :func:`spec_from_dict`)."""
+    data = dataclasses.asdict(spec)
+    data["workload"]["bursts"] = [dict(b) for b in _asdicts(spec.workload.bursts)]
+    data["faults"] = [
+        {k: v for k, v in fault.items() if v is not None}
+        for fault in _asdicts(spec.faults)
+    ]
+    data["config"] = spec.config_overrides()
+    # Drop defaults that only add noise to dumped specs.
+    if spec.workload.rate is None:
+        del data["workload"]["rate"]
+    if spec.workload.duration is None:
+        del data["workload"]["duration"]
+    return data
+
+
+def _asdicts(items) -> list[dict]:
+    return [dataclasses.asdict(item) for item in items]
+
+
+def dump_spec(spec: ScenarioSpec) -> str:
+    """The spec as pretty JSON (a ready-to-edit spec file)."""
+    return json.dumps(spec_to_dict(spec), indent=2, sort_keys=False)
+
+
+def load_spec(path: str | Path) -> ScenarioSpec:
+    """Load a spec file; the suffix picks the format (.json/.toml)."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"scenario file not found: {path}")
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"bad TOML in {path}: {exc}") from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad JSON in {path}: {exc}") from None
+    else:
+        raise ConfigError(
+            f"unknown scenario file type {path.suffix!r} (use .json or .toml)"
+        )
+    return spec_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+#: Trace kinds scenario metrics read (keeps long runs memory-bounded).
+_WANTED_KINDS = frozenset({
+    "batch_formed",
+    "order_committed",
+    "fail_signal_emitted",
+    "failover_complete",
+    "backlog_sent",
+    "view_change_sent",
+    "install_committed",
+    "coordinator_installed",
+    "view_installed",
+    "pair_recovered",
+    "went_dumb",
+    "value_domain_failure",
+    "fault_injected",
+    "surge_injected",
+})
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Deterministic outcome of one scenario run."""
+
+    name: str
+    protocol: str
+    scheme: str
+    f: int
+    seed: int
+    duration: float
+    requests_issued: int
+    requests_committed: int
+    batches_measured: int
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    throughput: float
+    failovers: int
+    failover_latency: float
+    view_changes: int
+    recoveries: int
+    safety_ok: bool
+
+    def metrics(self) -> dict[str, float]:
+        """Flat numeric view (artifact/runner shape)."""
+        return {
+            "requests_issued": float(self.requests_issued),
+            "requests_committed": float(self.requests_committed),
+            "batches_measured": float(self.batches_measured),
+            "latency_mean": self.latency_mean,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "throughput": self.throughput,
+            "failovers": float(self.failovers),
+            "failover_latency": self.failover_latency,
+            "view_changes": float(self.view_changes),
+            "recoveries": float(self.recoveries),
+            "safety_ok": 1.0 if self.safety_ok else 0.0,
+        }
+
+
+def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]:
+    """Materialise a spec: cluster built, workloads installed, faults
+    armed — ready for ``cluster.start()``."""
+    plugin = protocols.get(spec.protocol)
+    config = plugin.configure(
+        scheme=spec.scheme,
+        f=spec.f,
+        batching_interval=spec.batching_interval,
+        **spec.config_overrides(),
+    )
+    cluster = build_cluster(
+        spec.protocol,
+        config=config,
+        calibration=resolve_calibration(spec.net.calibration),
+        seed=spec.seed,
+        n_clients=spec.n_clients,
+    )
+    # Replace the tracer before start() so the slim filter covers
+    # everything the run emits.
+    cluster.sim.trace = Tracer(keep=lambda record: record.kind in _WANTED_KINDS)
+
+    w = spec.workload
+    rate = (
+        w.rate
+        if w.rate is not None
+        else saturating_rate(
+            config.batch_size_bytes,
+            config.request_bytes,
+            config.batching_interval,
+            headroom=w.headroom,
+        )
+    )
+    workloads = [
+        OpenLoopWorkload(
+            cluster,
+            rate=rate,
+            duration=w.duration if w.duration is not None else spec.duration,
+            spacing=w.spacing,
+        )
+    ]
+    workloads.extend(
+        OpenLoopWorkload(
+            cluster,
+            rate=burst.rate,
+            duration=burst.duration,
+            start=burst.at,
+            spacing=w.spacing,
+            stream=f"workload:burst{i}",
+        )
+        for i, burst in enumerate(w.bursts, start=1)
+    )
+    for workload in workloads:
+        workload.install()
+
+    for fault in spec.faults:
+        cluster.injector.inject_named(
+            cluster, fault.kind, fault.target, at=fault.at, **fault.params()
+        )
+    return cluster, workloads
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run a spec end-to-end and extract its metrics."""
+    cluster, workloads = build_scenario(spec)
+    cluster.start()
+    cluster.run(until=spec.duration + spec.drain)
+    return _measure(spec, cluster, issued=sum(w.issued for w in workloads))
+
+
+def _measure(spec: ScenarioSpec, cluster: Cluster, issued: int) -> ScenarioResult:
+    trace = cluster.sim.trace
+    samples = collect_latencies(trace)
+    if samples:
+        stats = latency_stats(samples)
+        latency_mean, latency_p50, latency_p95 = stats.mean, stats.p50, stats.p95
+        batches = stats.count
+    else:
+        latency_mean = latency_p50 = latency_p95 = 0.0
+        batches = 0
+
+    committed_per_actor: dict[str, int] = {}
+    for record in trace.of_kind("order_committed"):
+        actor = record.fields.get("actor", "?")
+        committed_per_actor[actor] = (
+            committed_per_actor.get(actor, 0) + record.fields["n_requests"]
+        )
+    committed = max(committed_per_actor.values(), default=0)
+
+    signals = trace.of_kind("fail_signal_emitted")
+    completes = trace.of_kind("failover_complete")
+    fail_latency = failover_latency(trace) if signals and completes else 0.0
+
+    return ScenarioResult(
+        name=spec.name,
+        protocol=spec.protocol,
+        scheme=cluster.plugin.reported_scheme(spec.scheme),
+        f=spec.f,
+        seed=spec.seed,
+        duration=spec.duration,
+        requests_issued=issued,
+        requests_committed=committed,
+        batches_measured=batches,
+        latency_mean=latency_mean,
+        latency_p50=latency_p50,
+        latency_p95=latency_p95,
+        throughput=throughput_per_process(trace, 0.0, spec.duration),
+        failovers=len(completes),
+        failover_latency=fail_latency,
+        view_changes=len(trace.of_kind("view_installed")),
+        recoveries=len(trace.of_kind("pair_recovered")),
+        safety_ok=_prefixes_agree(cluster),
+    )
+
+
+def _prefixes_agree(cluster: Cluster) -> bool:
+    """Safety check: committed histories agree on their common prefix."""
+    histories = list(cluster.committed_histories().values())
+    if not histories:
+        return True
+    shortest = min(len(h) for h in histories)
+    reference = histories[0][:shortest]
+    return all(history[:shortest] == reference for history in histories)
+
+
+# ----------------------------------------------------------------------
+# Runner integration
+# ----------------------------------------------------------------------
+
+
+def scenario_grid(spec: ScenarioSpec, seeds=(1,)) -> list:
+    """One :class:`~repro.harness.runner.SweepTask` per seed — the
+    grid form the multiprocessing runner executes."""
+    from repro.harness.runner import SCENARIO, SweepTask
+
+    return [
+        SweepTask(
+            kind=SCENARIO,
+            protocol=spec.protocol,
+            scheme=spec.scheme,
+            f=spec.f,
+            seed=seed,
+            calibration=spec.net.calibration,
+            scenario=spec.with_(seed=seed),
+        )
+        for seed in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios (non-paper workloads)
+# ----------------------------------------------------------------------
+
+BUILTIN_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="bursty-load",
+            protocol="sc",
+            duration=4.0,
+            drain=2.0,
+            workload=WorkloadSpec(
+                rate=120.0,
+                bursts=(
+                    BurstSpec(at=1.0, duration=0.6, rate=400.0),
+                    BurstSpec(at=2.4, duration=0.6, rate=400.0),
+                ),
+            ),
+            description="open-loop base load with two 400 req/s bursts "
+                        "(latency under pressure spikes, not saturation)",
+        ),
+        ScenarioSpec(
+            name="cascading-pair-failures",
+            protocol="sc",
+            duration=5.0,
+            drain=3.0,
+            workload=WorkloadSpec(rate=150.0),
+            faults=(
+                FaultSpec(kind="wrong_digest", target="p1", at=1.0),
+                FaultSpec(kind="wrong_digest", target="p2", at=2.5),
+            ),
+            description="two successive value-domain faults: coordination "
+                        "cascades pair 1 -> pair 2 -> unpaired p3",
+        ),
+        ScenarioSpec(
+            name="delay-surge-recovery",
+            protocol="scr",
+            duration=4.0,
+            drain=4.0,
+            workload=WorkloadSpec(rate=150.0),
+            faults=(
+                FaultSpec(
+                    kind="delay_surge", target="pair:1",
+                    at=1.0, until=1.8, factor=40000.0,
+                ),
+            ),
+            description="a delay surge falsely implicates pair 1; SCR view-"
+                        "changes past it and the pair later recovers",
+        ),
+        ScenarioSpec(
+            name="smr-closed-loop",
+            protocol="sc",
+            duration=3.0,
+            drain=2.0,
+            workload=WorkloadSpec(rate=150.0),
+            config=(("checkpoint_interval", 8), ("send_replies", True)),
+            description="full SMR loop: execution replies to clients plus "
+                        "periodic checkpoint garbage collection",
+        ),
+    )
+}
+
+
+def resolve_spec(target: str) -> ScenarioSpec:
+    """A builtin scenario by name, or a spec loaded from a file path."""
+    if target in BUILTIN_SCENARIOS:
+        return BUILTIN_SCENARIOS[target]
+    if target.endswith((".json", ".toml")):
+        return load_spec(target)
+    raise ConfigError(
+        f"unknown scenario {target!r}; builtins: "
+        f"{tuple(BUILTIN_SCENARIOS)} (or pass a .json/.toml spec file)"
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI (`python -m repro scenario ...`)
+# ----------------------------------------------------------------------
+
+
+def add_scenario_arguments(parser) -> None:
+    """Attach the scenario subcommand's arguments."""
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="builtin scenario name or a .json/.toml spec file",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list built-in scenarios"
+    )
+    parser.add_argument(
+        "--dump", action="store_true",
+        help="print the resolved spec as JSON and exit (spec-file template)",
+    )
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the spec's seed")
+    parser.add_argument("--seeds", default=None,
+                        help="comma-separated seeds: run a grid via the runner")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for --seeds grids")
+
+
+def cmd_scenario(args) -> int:
+    """Entry point for ``python -m repro scenario``."""
+    from repro.harness.report import render_table
+
+    if args.list or args.target is None:
+        rows = [
+            (spec.name, spec.protocol, f"{spec.duration:g}", spec.description)
+            for spec in BUILTIN_SCENARIOS.values()
+        ]
+        print(render_table(
+            "Built-in scenarios (python -m repro scenario <name>)",
+            ("name", "protocol", "duration (s)", "description"),
+            rows,
+        ))
+        return 0
+
+    spec = resolve_spec(args.target)
+    if args.seed is not None:
+        spec = spec.with_(seed=args.seed)
+    if args.dump:
+        print(dump_spec(spec))
+        return 0
+
+    if args.seeds:
+        from repro.harness.runner import execute, print_progress
+
+        try:
+            seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        except ValueError:
+            raise ConfigError(
+                f"--seeds wants comma-separated integers, got {args.seeds!r}"
+            ) from None
+        if not seeds:
+            raise ConfigError("--seeds names no seeds")
+        tasks = scenario_grid(spec, seeds=seeds)
+        results = [p.result for p in execute(tasks, jobs=args.jobs,
+                                             progress=print_progress)]
+    else:
+        results = [run_scenario(spec)]
+
+    print(f"scenario {spec.name!r}: protocol={spec.protocol} f={spec.f} "
+          f"scheme={spec.scheme} duration={spec.duration:g}s", file=sys.stderr)
+    rows = [
+        (
+            str(r.seed),
+            str(r.requests_issued),
+            str(r.requests_committed),
+            f"{r.latency_mean * 1e3:.1f}",
+            f"{r.throughput:.0f}",
+            str(r.failovers),
+            str(r.recoveries),
+            "ok" if r.safety_ok else "VIOLATED",
+        )
+        for r in results
+    ]
+    print(render_table(
+        f"Scenario {spec.name!r}",
+        ("seed", "issued", "committed", "latency (ms)", "req/s/proc",
+         "failovers", "recoveries", "safety"),
+        rows,
+    ))
+    return 0 if all(r.safety_ok for r in results) else 1

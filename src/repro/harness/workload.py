@@ -37,6 +37,7 @@ class OpenLoopWorkload:
         duration: float,
         start: float = 0.0,
         spacing: str = "poisson",
+        stream: str = "workload",
     ) -> None:
         if rate <= 0 or duration <= 0:
             raise ConfigError("rate and duration must be positive")
@@ -47,12 +48,18 @@ class OpenLoopWorkload:
         self.duration = duration
         self.start = start
         self.spacing = spacing
+        self.stream = stream
         self.issued = 0
 
     def install(self) -> None:
-        """Schedule every arrival up front (deterministic given seed)."""
+        """Schedule every arrival up front (deterministic given seed).
+
+        Each workload draws from its own named RNG stream, so several
+        (e.g. a base load plus bursts) compose without correlating or
+        perturbing one another's arrival sequences.
+        """
         sim = self.cluster.sim
-        rng = sim.rng.stream("workload")
+        rng = sim.rng.stream(self.stream)
         clients = self.cluster.clients
         t = self.start
         i = 0

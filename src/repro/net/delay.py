@@ -78,20 +78,32 @@ class SurgeableDelay(DelayModel):
             raise ConfigError("surge_factor must be >= 1")
         self.inner = inner
         self.surge_factor = surge_factor
-        self._surges: list[tuple[float, float]] = []
+        self._surges: list[tuple[float, float, float]] = []
 
-    def add_surge(self, start: float, end: float) -> None:
-        """Inflate delays for messages departing in ``[start, end)``."""
+    def add_surge(self, start: float, end: float, factor: float | None = None) -> None:
+        """Inflate delays for messages departing in ``[start, end)``.
+
+        ``factor`` defaults to the link's ``surge_factor``; passing it
+        per window lets several surges of different severity coexist
+        on one link (cascading-fault scenarios).
+        """
         if end <= start:
             raise ConfigError(f"empty surge window [{start}, {end})")
-        self._surges.append((start, end))
+        if factor is not None and factor < 1.0:
+            raise ConfigError("surge factor must be >= 1")
+        self._surges.append(
+            (start, end, self.surge_factor if factor is None else factor)
+        )
 
     def in_surge(self, now: float) -> bool:
         """True when ``now`` falls inside any registered surge window."""
-        return any(start <= now < end for start, end in self._surges)
+        return any(start <= now < end for start, end, _ in self._surges)
+
+    def surge_factor_at(self, now: float) -> float:
+        """The inflation applied to messages departing at ``now``
+        (the largest factor among windows covering it, 1.0 outside)."""
+        factors = [f for start, end, f in self._surges if start <= now < end]
+        return max(factors, default=1.0)
 
     def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
-        base = self.inner.sample(size_bytes, rng, now)
-        if self.in_surge(now):
-            return base * self.surge_factor
-        return base
+        return self.inner.sample(size_bytes, rng, now) * self.surge_factor_at(now)

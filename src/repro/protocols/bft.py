@@ -1,0 +1,35 @@
+"""BFT — the Castro-Liskov-style baseline as a plugin.
+
+The paper's signature-based PBFT comparison point: ``n = 3f + 1``
+unpaired replicas running three-phase ordering (pre-prepare, prepare,
+commit).  The replica implementation lives in
+:mod:`repro.baselines.bft`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bft.replica import BftReplica
+from repro.core.config import ProtocolConfig
+from repro.net.addresses import replica_name
+from repro.protocols.base import Deployment, OrderProtocol
+
+
+class BftPlugin(OrderProtocol):
+    """Signature-based PBFT baseline, n = 3f+1 unpaired replicas."""
+
+    name = "bft"
+    variant = "sc"
+    description = "Castro-Liskov-style three-phase BFT baseline, n = 3f+1"
+
+    def n(self, f: int) -> int:
+        return 3 * f + 1
+
+    def process_names(self, config: ProtocolConfig) -> tuple[str, ...]:
+        return tuple(replica_name(i) for i in range(1, 3 * config.f + 2))
+
+    def build(self, deployment: Deployment) -> None:
+        for name in self.process_names(deployment.config):
+            deployment.processes[name] = BftReplica(
+                deployment.sim, name, deployment.network, deployment.config,
+                deployment.provider, deployment.calibration,
+            )

@@ -1,0 +1,44 @@
+"""CT — the crash-tolerant baseline as a plugin.
+
+A fixed-sequencer atomic broadcast over ``n = 2f + 1`` replicas that
+tolerates crash faults only and runs without digests or signatures —
+the paper's cheapest comparison point.  The process implementation
+lives in :mod:`repro.baselines.ct`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ct import CtProcess
+from repro.core.config import ProtocolConfig
+from repro.crypto.schemes import PLAIN, CryptoScheme
+from repro.protocols.base import Deployment, OrderProtocol
+
+
+class CtPlugin(OrderProtocol):
+    """Crash-tolerant fixed-sequencer baseline, n = 2f+1, no crypto."""
+
+    name = "ct"
+    variant = "sc"
+    uses_crypto = False
+    description = "crash-tolerant fixed-sequencer baseline, n = 2f+1, no crypto"
+
+    def n(self, f: int) -> int:
+        return 2 * f + 1
+
+    def process_names(self, config: ProtocolConfig) -> tuple[str, ...]:
+        return config.replica_names
+
+    def resolve_scheme(self, scheme_name: str) -> CryptoScheme:
+        # CT orders without digests or signatures whatever the sweep
+        # requested; the swept scheme only labels the figure panel.
+        return PLAIN
+
+    def reported_scheme(self, scheme_name: str) -> str:
+        return "plain"
+
+    def build(self, deployment: Deployment) -> None:
+        for name in self.process_names(deployment.config):
+            deployment.processes[name] = CtProcess(
+                deployment.sim, name, deployment.network, deployment.config,
+                deployment.provider, deployment.calibration,
+            )

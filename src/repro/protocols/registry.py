@@ -1,0 +1,63 @@
+"""The protocol plugin registry.
+
+Maps protocol names to :class:`~repro.protocols.base.OrderProtocol`
+instances.  The four paper protocols register on package import; new
+protocols register with :func:`register` (typically at module import
+time) and immediately become buildable through
+:func:`repro.harness.cluster.build_cluster`, sweepable through the
+runner, and addressable from scenario specs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.protocols.base import OrderProtocol
+
+_REGISTRY: dict[str, OrderProtocol] = {}
+
+
+def register(protocol: OrderProtocol, *, replace: bool = False) -> OrderProtocol:
+    """Add a plugin under its ``name``; returns it for chaining.
+
+    Duplicate names are an error unless ``replace=True`` (useful when
+    iterating on a plugin in a REPL or shadowing a builtin in tests).
+    """
+    if not protocol.name:
+        raise ConfigError(f"protocol plugin {protocol!r} has no name")
+    if protocol.name in _REGISTRY and not replace:
+        raise ConfigError(
+            f"protocol {protocol.name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    _REGISTRY[protocol.name] = protocol
+    return protocol
+
+
+def unregister(name: str) -> None:
+    """Remove a plugin (primarily for test teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> OrderProtocol:
+    """Look up a plugin by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; known: {names()}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered protocol names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_protocols() -> tuple[OrderProtocol, ...]:
+    """Every registered plugin, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def failover_capable() -> tuple[str, ...]:
+    """Names of protocols the fail-over experiment applies to."""
+    return tuple(p.name for p in _REGISTRY.values() if p.supports_failover)

@@ -1,0 +1,85 @@
+"""SC — the paper's Signal-on-Crash protocol (Section 3) as a plugin.
+
+Deploys ``n = 3f + 1`` order processes: replicas ``p1 .. p(2f+1)`` of
+which ``p1 .. pf`` are paired with shadows ``p1' .. pf'``; coordinator
+candidates are the ``f`` pairs (ranked first) followed by the unpaired
+``p(f+1)``.  Pairs get dealer-issued fail-signal blanks, a dedicated
+surgeable link, and — under assumption 3(a)(i) — suspicion oracles
+that confirm time-domain suspicions against the counterpart's true
+fault state.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import FailSignalBody
+from repro.core.sc import ScProcess
+from repro.net.delay import SurgeableDelay
+from repro.net.pairlink import connect_pair
+from repro.protocols.base import Deployment, OrderProtocol
+
+
+class ScPlugin(OrderProtocol):
+    """Signal-on-Crash: pairs fail-signal, then go dumb (Section 4.3)."""
+
+    name = "sc"
+    variant = "sc"
+    uses_pairs = True
+    supports_failover = True
+    description = "signal-on-crash pairs (paper Section 3), n = 3f+1"
+
+    process_class = ScProcess
+
+    def n(self, f: int) -> int:
+        return 3 * f + 1
+
+    def process_names(self, config: ProtocolConfig) -> tuple[str, ...]:
+        return config.process_names
+
+    def build(self, deployment: Deployment) -> None:
+        sim = deployment.sim
+        config = deployment.config
+        dealer = deployment.dealer
+        provider = deployment.provider
+        calibration = deployment.calibration
+        names = self.process_names(config)
+
+        blanks: dict[str, tuple[FailSignalBody, object]] = {}
+        for rank in config.paired_indices:
+            first, second = config.coordinator_members(rank)
+            for holder, (body, sig) in dealer.issue_fail_signal_blanks(
+                provider, rank, first, second
+            ).items():
+                blanks[holder] = (body, sig)
+        for name in names:
+            blank = blanks.get(name)
+            deployment.processes[name] = self.process_class(
+                sim, name, deployment.network, config, provider, calibration,
+                fail_signal_blank=blank,
+            )
+        for rank in config.paired_indices:
+            first, second = config.coordinator_members(rank)
+            link = SurgeableDelay(calibration.pair_link())
+            connect_pair(deployment.network, first, second, link)
+            deployment.pair_links[rank] = link
+        self.wire(deployment)
+
+    def wire(self, deployment: Deployment) -> None:
+        """Assumption 3(a)(i) made operational: a pair member's
+        time-domain suspicion is confirmed against the counterpart's
+        true fault state, so correct members never falsely suspect
+        each other (the delay estimates are "accurate")."""
+        sim = deployment.sim
+        config = deployment.config
+        for rank in config.paired_indices:
+            first, second = config.coordinator_members(rank)
+            a, b = deployment.processes[first], deployment.processes[second]
+
+            def oracle_for(other):
+                def oracle() -> bool:
+                    return other.fault.active(sim.now)
+
+                return oracle
+
+            a.suspicion_oracle = oracle_for(b)
+            b.suspicion_oracle = oracle_for(a)

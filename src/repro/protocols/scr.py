@@ -1,0 +1,33 @@
+"""SCR — Signal-on-Crash-and-Recovery (Section 4.4) as a plugin.
+
+Deploys ``n = 3f + 2``: every coordinator candidate is a pair
+(``p(f+1)`` gains a shadow) and falsely suspected pairs recover
+through view changes.  Construction matches SC except that delay
+estimates are only *eventually* accurate (assumption 3(b)(i)), so no
+suspicion oracles are wired — false suspicions are part of the model.
+"""
+
+from __future__ import annotations
+
+from repro.core.scr import ScrProcess
+from repro.protocols.base import Deployment
+from repro.protocols.sc import ScPlugin
+
+
+class ScrPlugin(ScPlugin):
+    """Signal-on-Crash-and-Recovery: pairs may rejoin after false
+    suspicion; only pairs coordinate."""
+
+    name = "scr"
+    variant = "scr"
+    description = "signal-on-crash with recovery (Section 4.4), n = 3f+2"
+
+    process_class = ScrProcess
+
+    def n(self, f: int) -> int:
+        return 3 * f + 2
+
+    def wire(self, deployment: Deployment) -> None:
+        # 3(b)(i): estimates are only eventually accurate — suspicions
+        # come from observed (possibly surged) delays, not an oracle.
+        return None

@@ -36,10 +36,10 @@ def run_protocol(
     the run starts.
     """
     if config is None:
-        config = ProtocolConfig(
-            f=2,
-            variant="scr" if protocol == "scr" else "sc",
-            batching_interval=0.050,
+        import repro.protocols as protocols
+
+        config = protocols.get(protocol).default_config(
+            f=2, batching_interval=0.050
         )
     cluster = build_cluster(protocol, config=config, seed=seed, calibration=calibration)
     workload = OpenLoopWorkload(cluster, rate=rate, duration=duration)

@@ -4,16 +4,15 @@ schedules, workloads and fault timings; simulator determinism."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import ProtocolConfig, build_cluster, OpenLoopWorkload
+import repro.protocols as protocols
+from repro import build_cluster, OpenLoopWorkload
 from repro.failures.faults import CrashFault, WrongDigestFault
 from tests.conftest import assert_total_order, assert_total_order_among_correct
 
 
 def run(protocol, seed, rate, duration=1.0, fault=None, f=1, drain=3.0):
-    config = ProtocolConfig(
-        f=f,
-        variant="scr" if protocol == "scr" else "sc",
-        batching_interval=0.050,
+    config = protocols.get(protocol).default_config(
+        f=f, batching_interval=0.050
     )
     cluster = build_cluster(protocol, config=config, seed=seed)
     workload = OpenLoopWorkload(cluster, rate=rate, duration=duration)
