@@ -372,13 +372,27 @@ def payload_size(payload: Any) -> int:
     """Wire size of any protocol payload.
 
     ``SignedMessage`` adds its signature bytes on top of the body.
+
+    The size of a frozen message never changes, yet the senders ask for
+    it repeatedly (cost charging, marshalling, forwarding), so the
+    computed value is memoised on the instance; objects that refuse the
+    attribute (slots, builtins) are simply recomputed each time.
     """
+    try:
+        return payload._payload_size_
+    except AttributeError:
+        pass
     if isinstance(payload, SignedMessage):
-        body_size = payload_size(payload.body)
-        return body_size + payload.signature_bytes
-    sizer = getattr(payload, "payload_bytes", None)
-    if sizer is not None:
-        return sizer()
-    if isinstance(payload, FailSignalBody):
-        return HEADER_BYTES
-    return HEADER_BYTES
+        size = payload_size(payload.body) + payload.signature_bytes
+    else:
+        sizer = getattr(payload, "payload_bytes", None)
+        if sizer is not None:
+            size = sizer()
+        else:
+            # FailSignalBody and any other bare body: framing only.
+            size = HEADER_BYTES
+    try:
+        object.__setattr__(payload, "_payload_size_", size)
+    except (AttributeError, TypeError):
+        pass
+    return size

@@ -29,5 +29,18 @@ class ClientRequest:
         return (self.client, self.req_id)
 
     def digest_under(self, digest_name: str) -> bytes:
-        """The request digest ``D(m)`` used inside order messages."""
-        return digest(digest_name, canonical_bytes(self))
+        """The request digest ``D(m)`` used inside order messages.
+
+        Memoised per instance: a request is digested by the coordinator
+        at batch formation and again wherever an order referencing it
+        is checked, always over the same frozen content.
+        """
+        cache = self.__dict__.get("_digest_cache_")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_digest_cache_", cache)
+        value = cache.get(digest_name)
+        if value is None:
+            value = digest(digest_name, canonical_bytes(self))
+            cache[digest_name] = value
+        return value

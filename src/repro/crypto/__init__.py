@@ -22,10 +22,11 @@ them in pure Python:
 * :mod:`~repro.crypto.dealer` — the trusted dealer of Assumption 2.
 """
 
+from repro.crypto.canon import encode_canonical
 from repro.crypto.costs import CryptoCostModel, OpCosts
 from repro.crypto.dealer import TrustedDealer
 from repro.crypto.digests import digest, digest_size
-from repro.crypto.encoding import canonical_bytes
+from repro.crypto.encoding import canonical_bytes, reference_canonical_bytes
 from repro.crypto.schemes import (
     MD5_RSA_1024,
     MD5_RSA_1536,
@@ -57,5 +58,7 @@ __all__ = [
     "canonical_bytes",
     "digest",
     "digest_size",
+    "encode_canonical",
+    "reference_canonical_bytes",
     "scheme_by_name",
 ]

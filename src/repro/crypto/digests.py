@@ -1,9 +1,17 @@
 """Digest registry.
 
-``digest(name, data)`` dispatches to the from-scratch implementations
-(:mod:`repro.crypto.md5`, :mod:`repro.crypto.sha1`).  Passing
-``use_stdlib=True`` switches to :mod:`hashlib` — bit-identical output
-(tested), useful when hashing megabytes in property tests.
+``digest(name, data)`` dispatches to :mod:`hashlib` by default: the
+simulator charges digest *time* through the calibrated cost model
+(:mod:`repro.crypto.costs`), so the backend computing the digest value
+only has to be bit-identical and fast — a profile of a representative
+sweep showed the from-scratch MD5 alone eating ~16% of harness wall
+time while contributing nothing to any simulated metric.
+
+The from-scratch implementations (:mod:`repro.crypto.md5`,
+:mod:`repro.crypto.sha1`) remain the *reference*: they are what a
+deployment without OpenSSL would run, the equivalence tests exercise
+them against hashlib bit for bit, and ``use_stdlib=False`` selects
+them explicitly.
 """
 
 from __future__ import annotations
@@ -17,8 +25,11 @@ from repro.errors import CryptoError
 _SIZES = {"md5": 16, "sha1": 20, "none": 8}
 
 
-def digest(name: str, data: bytes, use_stdlib: bool = False) -> bytes:
+def digest(name: str, data: bytes, use_stdlib: bool = True) -> bytes:
     """Compute the named digest of ``data``.
+
+    ``use_stdlib=False`` forces the from-scratch implementations
+    (bit-identical, ~50x slower — the equivalence tests run both).
 
     ``"none"`` is the degenerate digest used by the crash-tolerant (CT)
     baseline, which the paper runs without cryptographic techniques: a

@@ -6,6 +6,12 @@ injective-enough encoding: JSON with sorted keys, where dataclasses are
 tagged with their class name and ``bytes`` values are hex-tagged.  Two
 structurally different messages therefore never encode equally, and the
 encoding of a message never changes across runs or platforms.
+
+The actual encoding work is done by the fast single-pass encoder in
+:mod:`repro.crypto.canon`; the recursive ``_jsonable`` construction
+below is kept as the executable *specification* of the format —
+:func:`reference_canonical_bytes` is the oracle the property tests
+compare the fast path against, byte for byte.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import dataclasses
 import json
 from typing import Any
 
+from repro.crypto.canon import encode_canonical
 from repro.errors import CryptoError
 
 
@@ -45,6 +52,15 @@ def canonical_bytes(value: Any) -> bytes:
 
     >>> canonical_bytes({"b": 1, "a": 2})
     b'{"a":2,"b":1}'
+    """
+    return encode_canonical(value)
+
+
+def reference_canonical_bytes(value: Any) -> bytes:
+    """The from-first-principles encoding (slow, recursive).
+
+    Kept as the oracle: :func:`canonical_bytes` must produce exactly
+    these bytes for every encodable value.
     """
     return json.dumps(
         _jsonable(value), sort_keys=True, separators=(",", ":")

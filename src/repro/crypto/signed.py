@@ -9,9 +9,11 @@ baseline all share this wrapper.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any
 
+from repro.crypto.canon import memoized_fragment
 from repro.crypto.encoding import canonical_bytes
 from repro.crypto.signing import Signature, SignatureProvider
 from repro.errors import VerificationError
@@ -33,11 +35,38 @@ class SignedMessage:
         return sum(sig.size_bytes for sig in self.signatures)
 
 
-def signing_bytes(body: Any, prior: tuple[Signature, ...]) -> bytes:
-    """Canonical bytes covered by the next signature over ``body``."""
+def _signing_bytes_uncached(body: Any, prior: tuple[Signature, ...]) -> bytes:
     return canonical_bytes(
         {"body": body, "prior": [(s.signer, s.value) for s in prior]}
     )
+
+
+# Signing bytes are pure in (body, prior) and the same prefix is
+# re-encoded by every sign / countersign / verify along a signature
+# chain (a doubly-signed order is verified at each receiver), so a
+# bounded cache removes most encodings.  Keyed on object *identity*
+# (never equality: Python's `True == 1 == 1.0` would alias entries for
+# values that encode differently) and written only when the canonical
+# encoder certified the body deeply immutable, so an entry can neither
+# alias nor go stale.  Entries hold the keyed objects, keeping their
+# ids valid for the entry's lifetime.
+_SIGNING_CACHE_MAX = 8192
+_signing_cache: OrderedDict[tuple[int, ...], tuple] = OrderedDict()
+
+
+def signing_bytes(body: Any, prior: tuple[Signature, ...]) -> bytes:
+    """Canonical bytes covered by the next signature over ``body``."""
+    key = (id(body), *(id(s) for s in prior))
+    entry = _signing_cache.get(key)
+    if entry is not None:
+        _signing_cache.move_to_end(key)
+        return entry[2]
+    data = _signing_bytes_uncached(body, prior)
+    if memoized_fragment(body) is not None:
+        _signing_cache[key] = (body, tuple(prior), data)
+        if len(_signing_cache) > _SIGNING_CACHE_MAX:
+            _signing_cache.popitem(last=False)
+    return data
 
 
 def sign_message(provider: SignatureProvider, signer: str, body: Any) -> SignedMessage:

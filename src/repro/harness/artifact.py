@@ -8,14 +8,16 @@ benchmark runs and the regression gate in
 :mod:`repro.harness.baseline` — CI uploads them and diffs them against
 committed baselines.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "figure": "fig4",
       "git_sha": "<40 hex chars or 'unknown'>",
       "created_at": "2026-07-29T12:00:00Z",
       "wall_time_s": 12.34,
+      "events_total": 1234567,          # v2: simulator events, all points
+      "events_per_second": 430000.0,    # v2: events_total / wall_time_s
       "env": {"python": ..., "implementation": ..., "platform": ...,
               "machine": ..., "cpu_count": ...},
       "params": {...sweep parameters, free-form...},
@@ -24,14 +26,21 @@ Schema (version 1)::
          "kind": "order", "protocol": "sc", "scheme": "md5-rsa1024",
          "f": 2, "x": 0.04,
          "metrics": {"latency_mean": ..., "throughput": ...},
-         "wall_time_s": 1.2},
+         "wall_time_s": 1.2,
+         "events": 56789,               # v2: deterministic event count
+         "events_per_second": 47324.2}, # v2: events / wall_time_s
         ...
       ]
     }
 
 ``points[*].id`` is the stable join key the baseline comparator
-matches on; ``metrics`` values are deterministic simulation outputs
-(only the ``wall_time*`` fields vary between machines).
+matches on; ``metrics`` values are deterministic simulation outputs.
+Version 2 adds the **wall-time telemetry** (``events``/
+``events_per_second`` per point and per suite) so a harness slowdown
+is visible in the artifact trail; these fields are informational and
+never gated — only ``metrics`` is — because wall time varies between
+machines.  The reader accepts version 1 documents (the committed
+quick-mode baselines) unchanged: v1 simply has no telemetry.
 """
 
 from __future__ import annotations
@@ -48,8 +57,11 @@ from typing import Iterable
 from repro.errors import ConfigError
 from repro.harness.runner import PointResult
 
-#: Bump when the artifact layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: Version written by this build.  Bump on incompatible layout change.
+SCHEMA_VERSION = 2
+#: Versions :func:`load_artifact` accepts (v1 lacks the telemetry
+#: fields; every v1 key kept its meaning in v2).
+SUPPORTED_VERSIONS = (1, 2)
 
 _REQUIRED_KEYS = (
     "schema_version", "figure", "git_sha", "created_at",
@@ -94,6 +106,9 @@ class BenchArtifact:
     created_at: str = ""
     env: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
+    #: v2 wall-time telemetry (0 on documents loaded from v1).
+    events_total: int = 0
+    events_per_second: float = 0.0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -126,20 +141,28 @@ def from_results(
             "x": r.task.x,
             "metrics": r.metrics(),
             "wall_time_s": r.wall_time,
+            "events": r.events_processed,
+            "events_per_second": (
+                r.events_processed / r.wall_time if r.wall_time > 0 else 0.0
+            ),
         }
         for r in results
     ]
+    wall = (
+        wall_time_s if wall_time_s is not None
+        else sum(r.wall_time for r in results)
+    )
+    events_total = sum(r.events_processed for r in results)
     return BenchArtifact(
         figure=figure,
         points=points,
         params=dict(params or {}),
-        wall_time_s=(
-            wall_time_s if wall_time_s is not None
-            else sum(r.wall_time for r in results)
-        ),
+        wall_time_s=wall,
         git_sha=git_sha if git_sha is not None else current_git_sha(),
         created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         env=env_fingerprint(),
+        events_total=events_total,
+        events_per_second=events_total / wall if wall > 0 else 0.0,
     )
 
 
@@ -150,10 +173,10 @@ def validate(data: dict) -> dict:
     missing = [key for key in _REQUIRED_KEYS if key not in data]
     if missing:
         raise ConfigError(f"artifact missing keys: {missing}")
-    if data["schema_version"] != SCHEMA_VERSION:
+    if data["schema_version"] not in SUPPORTED_VERSIONS:
         raise ConfigError(
             f"unsupported artifact schema version {data['schema_version']!r} "
-            f"(this build reads version {SCHEMA_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     if not isinstance(data["points"], list):
         raise ConfigError("artifact 'points' must be a list")
@@ -201,4 +224,7 @@ def load_artifact(path: str | Path) -> BenchArtifact:
         created_at=data["created_at"],
         env=data["env"],
         schema_version=data["schema_version"],
+        # Telemetry arrived with v2; v1 baselines read as zeros.
+        events_total=data.get("events_total", 0),
+        events_per_second=data.get("events_per_second", 0.0),
     )

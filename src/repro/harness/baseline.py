@@ -73,6 +73,13 @@ class BaselineReport:
     missing_points: list[str] = field(default_factory=list)
     new_points: list[str] = field(default_factory=list)
     missing_metrics: list[str] = field(default_factory=list)
+    #: Informational wall-time telemetry (never gated): per shared
+    #: point, ``(point_id, baseline_wall_s, current_wall_s)`` where a
+    #: side without telemetry (schema v1) reports 0.0.
+    wall_times: list[tuple[str, float, float]] = field(default_factory=list)
+    #: Suite-level ``(baseline, current)`` telemetry, 0.0 when absent.
+    suite_wall_s: tuple[float, float] = (0.0, 0.0)
+    suite_events_per_s: tuple[float, float] = (0.0, 0.0)
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -111,6 +118,7 @@ class BaselineReport:
             rows,
         )
         lines = [table]
+        lines.extend(self._telemetry_lines())
         if self.missing_points:
             lines.append(f"missing vs baseline: {', '.join(self.missing_points)}")
         if self.new_points:
@@ -126,6 +134,44 @@ class BaselineReport:
                  f"{len(self.missing_metrics)} vanished metric(s)"
         )
         return "\n".join(lines)
+
+    def _telemetry_lines(self) -> list[str]:
+        """Wall-time columns — informational only, never part of the
+        verdict (wall time is machine-dependent).  A side without a
+        usable measurement renders as '-'; events/s appears only for
+        schema-v2 artifacts."""
+        rows = []
+        for point_id, base_wall, cur_wall in self.wall_times:
+            if base_wall <= 0.0 and cur_wall <= 0.0:
+                continue
+            delta = (
+                f"{(cur_wall - base_wall) / base_wall * 100.0:+.0f}%"
+                if base_wall > 0.0 and cur_wall > 0.0 else "-"
+            )
+            rows.append((
+                point_id,
+                f"{base_wall:.2f}" if base_wall > 0.0 else "-",
+                f"{cur_wall:.2f}" if cur_wall > 0.0 else "-",
+                delta,
+            ))
+        if not rows:
+            return []
+        lines = ["", render_table(
+            f"Wall-time telemetry — {self.figure} (informational, not gated)",
+            ("point", "baseline (s)", "current (s)", "delta"),
+            rows,
+        )]
+        base_eps, cur_eps = self.suite_events_per_s
+        base_wall, cur_wall = self.suite_wall_s
+        summary = [f"suite wall: {cur_wall:.1f}s"]
+        if base_wall > 0.0:
+            summary.append(f"(baseline {base_wall:.1f}s)")
+        if cur_eps > 0.0:
+            summary.append(f"— {cur_eps:,.0f} events/s")
+            if base_eps > 0.0:
+                summary.append(f"(baseline {base_eps:,.0f})")
+        lines.append(" ".join(summary))
+        return lines
 
 
 def compare(
@@ -143,7 +189,16 @@ def compare(
     report = BaselineReport(figure=current.figure, tolerance_pct=tolerance_pct)
     report.missing_points = sorted(set(baseline_points) - set(current_points))
     report.new_points = sorted(set(current_points) - set(baseline_points))
+    report.suite_wall_s = (baseline.wall_time_s, current.wall_time_s)
+    report.suite_events_per_s = (
+        baseline.events_per_second, current.events_per_second
+    )
     for point_id in sorted(set(current_points) & set(baseline_points)):
+        report.wall_times.append((
+            point_id,
+            float(baseline_points[point_id].get("wall_time_s") or 0.0),
+            float(current_points[point_id].get("wall_time_s") or 0.0),
+        ))
         base_metrics = baseline_points[point_id]["metrics"]
         cur_metrics = current_points[point_id]["metrics"]
         for metric in sorted(base_metrics):

@@ -105,6 +105,11 @@ class OrderRunResult:
     latency_p95: float
     throughput: float
     batches_measured: int
+    #: Simulator events the run processed — deterministic, and the
+    #: denominator-free half of the harness-speed telemetry (events
+    #: per wall second) carried by artifact schema v2.  Not a metric:
+    #: it says nothing about the simulated system.
+    events_processed: int = 0
 
 
 def run_order_experiment(
@@ -169,6 +174,7 @@ def run_order_experiment(
         latency_p95=stats.p95,
         throughput=throughput,
         batches_measured=stats.count,
+        events_processed=cluster.sim.events_processed,
     )
 
 
@@ -182,6 +188,7 @@ class FailoverRunResult:
     target_backlog_batches: int
     observed_backlog_bytes: float
     failover_latency: float
+    events_processed: int = 0
 
 
 def run_failover_experiment(
@@ -252,6 +259,7 @@ def run_failover_experiment(
         target_backlog_batches=backlog_batches,
         observed_backlog_bytes=observed,
         failover_latency=latency,
+        events_processed=sim.events_processed,
     )
 
 
@@ -510,10 +518,15 @@ def _cmd_suite(args) -> int:
         path = write_artifact(artifact, args.json_dir)
         artifacts[figure] = artifact
         rows.append((figure, len(figure_results),
-                     f"{artifact.wall_time_s:.1f}", str(path)))
+                     f"{artifact.wall_time_s:.1f}",
+                     f"{artifact.events_per_second:,.0f}", str(path)))
+    # Unique runs only: figures sharing points (fig4/fig5) would
+    # double-count their events in the suite-level rate.
+    total_events = sum(r.events_processed for r in results)
     print(render_table(
-        f"Benchmark suite — {len(unique)} runs in {wall:.1f}s wall",
-        ("figure", "points", "cpu time (s)", "artifact"),
+        f"Benchmark suite — {len(unique)} runs in {wall:.1f}s wall "
+        f"({total_events / wall:,.0f} events/s)",
+        ("figure", "points", "cpu time (s)", "events/s", "artifact"),
         rows,
     ))
 
@@ -618,6 +631,13 @@ def main(argv: list[str] | None = None) -> int:
     protocols_parser.add_argument("--f", type=int, default=2,
                                   help="fault tolerance shown in the n(f) column")
 
+    from repro.harness.perf import add_perf_arguments
+
+    perf_parser = sub.add_parser(
+        "perf", help="time the hot-path reference point (wall-time telemetry)"
+    )
+    add_perf_arguments(perf_parser)
+
     args = parser.parse_args(argv)
     try:
         if args.command == "suite":
@@ -630,6 +650,10 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_scenario(args)
         if args.command == "protocols":
             return _cmd_protocols(args)
+        if args.command == "perf":
+            from repro.harness.perf import cmd_perf
+
+            return cmd_perf(args)
         return _cmd_figure(args.command, args)
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)

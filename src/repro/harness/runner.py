@@ -171,6 +171,13 @@ class PointResult:
     result: object
     wall_time: float
 
+    @property
+    def events_processed(self) -> int:
+        """Simulator events the point processed (0 when the experiment
+        predates the telemetry).  Deterministic — only the pairing with
+        ``wall_time`` (events/second) varies between machines."""
+        return int(getattr(self.result, "events_processed", 0))
+
     def metrics(self) -> dict[str, float]:
         """The measured quantities, flattened for artifacts."""
         r = self.result
@@ -263,14 +270,22 @@ def print_progress(progress: Progress, stream=None) -> None:
 def execute(
     tasks: Iterable[SweepTask],
     jobs: int = 1,
-    progress: Callable[[Progress], None] | None = None,
+    progress: Callable[[Progress], None] | bool | None = None,
 ) -> list[PointResult]:
     """Run every task and return results in task order.
 
     ``jobs <= 1`` runs serially in-process (no pool, no pickling);
     larger values fan the grid out over a worker-process pool.  Both
     paths produce identical results for the same tasks.
+
+    ``progress`` is a per-completion callback; any falsy value
+    (``None``, ``False``) disables reporting, so callers can write
+    ``progress=False`` without tripping over the callable protocol.
     """
+    if not progress:
+        progress = None
+    elif progress is True:  # symmetric shorthand for the default reporter
+        progress = print_progress
     tasks = list(tasks)
     started = time.perf_counter()
     if jobs <= 1 or len(tasks) <= 1:

@@ -313,6 +313,10 @@ class ScenarioResult:
     view_changes: int
     recoveries: int
     safety_ok: bool
+    #: Simulator events processed — deterministic harness telemetry,
+    #: deliberately excluded from :meth:`metrics` so artifacts' gated
+    #: metric dictionaries stay byte-identical across harness changes.
+    events_processed: int = 0
 
     def metrics(self) -> dict[str, float]:
         """Flat numeric view (artifact/runner shape)."""
@@ -443,6 +447,7 @@ def _measure(spec: ScenarioSpec, cluster: Cluster, issued: int) -> ScenarioResul
         view_changes=len(trace.of_kind("view_installed")),
         recoveries=len(trace.of_kind("pair_recovered")),
         safety_ok=_prefixes_agree(cluster),
+        events_processed=cluster.sim.events_processed,
     )
 
 

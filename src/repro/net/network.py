@@ -58,6 +58,10 @@ class Network:
         self.messages_by_sender: dict[str, int] = {}
         self._hold_predicate: Callable[[Envelope], bool] | None = None
         self._held: list[Envelope] = []
+        # Per-(src, dst) jitter streams, resolved once: the registry
+        # lookup itself is cached, but the hot send path was paying an
+        # f-string + two method calls per message to reach it.
+        self._stream_cache: dict[tuple[str, str], Any] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -116,13 +120,22 @@ class Network:
             raise ConfigError(f"negative message size {size_bytes}")
         if dest not in self._actors:
             raise ConfigError(f"message to unknown actor {dest!r}")
-        depart = self.sim.now if depart_time is None else depart_time
-        if depart < self.sim.now:
+        now = self.sim.now
+        depart = now if depart_time is None else depart_time
+        if depart < now:
             raise SimulationError(
-                f"depart_time {depart} is before now {self.sim.now}"
+                f"depart_time {depart} is before now {now}"
             )
-        rng = self.sim.rng.stream(f"net/{sender}->{dest}")
-        delay = self.link(sender, dest).sample(size_bytes, rng, depart)
+        key = (sender, dest)
+        rng = self._stream_cache.get(key)
+        if rng is None:
+            rng = self.sim.rng.stream(f"net/{sender}->{dest}")
+            self._stream_cache[key] = rng
+        link = self._links.get(key)
+        dedicated = link is not None
+        if link is None:
+            link = self.default_link
+        delay = link.sample(size_bytes, rng, depart)
         envelope = Envelope(
             msg_id=self._next_msg_id,
             sender=sender,
@@ -135,7 +148,7 @@ class Network:
         self._next_msg_id += 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        if (sender, dest) in self._links:
+        if dedicated:
             self.pair_messages_sent += 1
         self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
         for tap in self._taps:

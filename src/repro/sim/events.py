@@ -58,10 +58,18 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with deterministic ordering."""
+    """Min-heap of :class:`Event` with deterministic ordering.
+
+    The heap stores ``(time, seq, event)`` triples so that every
+    comparison during sift-up/down is a C-level tuple comparison —
+    ``Event.__lt__`` was one of the hottest functions in a profiled
+    sweep — while the public API still trades in :class:`Event`
+    handles.  ``(time, seq)`` is unique per event, so the ``event``
+    slot is never compared.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
 
     def __len__(self) -> int:
@@ -69,23 +77,47 @@ class EventQueue:
 
     def push(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> Event:
         """Insert a callback to run at ``time`` and return its handle."""
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        event = Event(time, seq, callback, args)
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
+    def pop_due(self, until: float | None = None) -> Event | None:
+        """Pop the earliest live event firing at or before ``until``.
+
+        Fuses :meth:`peek_time` + :meth:`pop` into one heap traversal
+        (the kernel's inner loop did both per event).  An event beyond
+        ``until`` stays queued; cancelled events ahead of it are
+        discarded either way.  Returns ``None`` when nothing is due.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            first = heap[0]
+            if first[2].cancelled:
+                heappop(heap)
+                continue
+            if until is not None and first[0] > until:
+                return None
+            heappop(heap)
+            return first[2]
+        return None
+
     def peek_time(self) -> float | None:
         """Return the firing time of the earliest live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]

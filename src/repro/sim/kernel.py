@@ -96,19 +96,17 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        # Hot loop: one fused heap traversal per event (pop_due), hot
+        # lookups hoisted into locals.  ``self._stopped`` must be
+        # re-read every iteration — callbacks flip it via stop().
+        pop_due = self._queue.pop_due
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop()
+                event = pop_due(until)
                 if event is None:
                     break
                 self._now = event.time
                 event.callback(*event.args)
-                self.events_processed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
@@ -117,6 +115,7 @@ class Simulator:
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
+            self.events_processed += fired
             self._running = False
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
