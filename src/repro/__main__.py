@@ -2,12 +2,26 @@
 
 A thin wrapper over :mod:`repro.harness.experiments`'s CLI so the
 package itself is runnable; also the ``repro`` console-script target.
+
+The ``worker`` subcommand short-circuits before the experiments CLI
+is imported: sweep coordinators (:mod:`repro.harness.exec.sockets`)
+spawn one ``python -m repro worker`` process per job, and the fast
+path defers the experiments CLI (its argparse tree, figure rendering
+and their import chain) until the first task actually needs it.  The
+behaviour is identical either way — both this path and the
+``worker`` subcommand in :mod:`repro.harness.experiments` delegate to
+the same :func:`repro.harness.exec.sockets.main`.
 """
 
 import sys
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "worker":
+        from repro.harness.exec.sockets import main as worker_main
+
+        return worker_main(argv[1:])
     from repro.harness.experiments import main as _main
 
     return _main(argv)

@@ -21,6 +21,17 @@ class ConfigError(ReproError):
     """
 
 
+class SweepError(ReproError):
+    """A sweep task could not be brought to a result.
+
+    Raised by the execution backends in :mod:`repro.harness.exec` when
+    a task fails inside a worker (the message names the owning
+    ``point_id``), when a worker pool loses a future without producing
+    a result, or when the socket coordinator exhausts its retries for a
+    task whose workers keep dying.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly.
 

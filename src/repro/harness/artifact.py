@@ -193,6 +193,21 @@ def validate(data: dict) -> dict:
     return data
 
 
+def events_by_point(artifact: BenchArtifact) -> dict[str, float]:
+    """``{point_id: events}`` for every point carrying telemetry.
+
+    The deterministic per-point event counts double as a perfect
+    relative-cost oracle for the dispatch scheduler
+    (:mod:`repro.harness.exec.schedule`); v1 documents carry none and
+    contribute an empty mapping.
+    """
+    return {
+        point["id"]: float(point["events"])
+        for point in artifact.points
+        if point.get("events")
+    }
+
+
 def artifact_path(json_dir: str | Path, figure: str) -> Path:
     """The canonical on-disk name: ``<dir>/BENCH_<figure>.json``."""
     return Path(json_dir) / f"BENCH_{figure}.json"

@@ -1,0 +1,124 @@
+"""The :class:`Executor` protocol and the backend registry.
+
+An executor turns a list of pure :class:`~repro.harness.runner.
+SweepTask` values into the matching list of
+:class:`~repro.harness.runner.PointResult`, in **submission order** —
+the contract every backend must honour so that ``serial``, ``pool``
+and ``sockets`` are byte-identical for the same grid and the baseline
+gate never sees a scheduling artefact.
+
+Backends register by class (keyed on their ``name``), mirroring the
+protocol plugin registry of :mod:`repro.protocols`: the three builtin
+backends register on package import, and anything else —  an SSH
+fan-out, a batch-queue submitter — becomes reachable from
+:func:`repro.harness.runner.execute` and every CLI ``--executor`` flag
+the moment it calls :func:`register`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.harness.runner import PointResult, Progress, SweepTask
+
+#: Per-completion callback type (``None`` disables reporting).
+ProgressCallback = Callable[[Progress], None]
+
+
+class Executor(ABC):
+    """One strategy for executing a sweep-task grid.
+
+    Subclasses accept their options as keyword arguments — every
+    backend takes ``jobs`` (its parallelism budget; serial ignores it)
+    and ``cost_hints`` (optional ``{point_id: relative cost}`` used to
+    dispatch expensive tasks first) so the :func:`~repro.harness.
+    runner.execute` facade can construct any of them uniformly.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self, jobs: int = 1, cost_hints: dict[str, float] | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cost_hints = cost_hints
+
+    @abstractmethod
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        progress: ProgressCallback | None = None,
+    ) -> list[PointResult]:
+        """Execute every task; results in submission order."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _start_clock(self) -> None:
+        self._started = time.perf_counter()
+        self._done = 0
+
+    def _report(
+        self,
+        progress: ProgressCallback | None,
+        point: PointResult,
+        total: int,
+    ) -> None:
+        """Emit one completion snapshot (call under the backend's lock
+        when completions may race)."""
+        self._done += 1
+        if progress is not None:
+            progress(Progress(
+                done=self._done,
+                total=total,
+                elapsed=time.perf_counter() - self._started,
+                last=point,
+            ))
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors repro.protocols.registry)
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[Executor]] = {}
+
+
+def register(backend: type[Executor], *, replace: bool = False) -> type[Executor]:
+    """Add an executor class under its ``name``; returns it, so it can
+    be used as a decorator.  Duplicate names are an error unless
+    ``replace=True`` (shadowing a builtin in tests)."""
+    if not backend.name:
+        raise ConfigError(f"executor backend {backend!r} has no name")
+    if backend.name in _REGISTRY and not replace:
+        raise ConfigError(
+            f"executor {backend.name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister(name: str) -> None:
+    """Remove a backend (primarily for test teardown)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> type[Executor]:
+    """Look up a backend class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown executor {name!r}; known: {names()}"
+        ) from None
+
+
+def names() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def create(name: str, **options) -> Executor:
+    """Instantiate a backend with the given options."""
+    return get(name)(**options)

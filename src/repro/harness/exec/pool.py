@@ -1,0 +1,72 @@
+"""The ``ProcessPoolExecutor`` backend (the historical ``jobs=N`` path).
+
+Tasks are submitted most-expensive-first (see
+:mod:`repro.harness.exec.schedule`) so the straggler starts early, and
+results are reassembled by submission index — parallelism never
+reorders a sweep.
+
+Failure semantics (tightened versus the pre-refactor runner, which
+could silently return a ``None``-holed list):
+
+* a task that raises inside a worker aborts the sweep with a
+  :class:`~repro.errors.SweepError` naming the owning ``point_id``
+  (tasks are deterministic, so retrying a task *exception* would just
+  fail again);
+* a future lost without a result — a worker killed by the OOM killer
+  breaks the whole pool — also surfaces as a :class:`SweepError`
+  naming the affected points, never as a hole in the result list.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Sequence
+
+from repro.errors import SweepError
+from repro.harness.exec.base import Executor, ProgressCallback, register
+from repro.harness.exec.schedule import dispatch_order
+from repro.harness.runner import PointResult, SweepTask, run_task
+
+
+@register
+class PoolExecutor(Executor):
+    """Fan the grid out over a local worker-process pool."""
+
+    name = "pool"
+
+    def run(
+        self,
+        tasks: Sequence[SweepTask],
+        progress: ProgressCallback | None = None,
+    ) -> list[PointResult]:
+        if not tasks:
+            return []
+        self._start_clock()
+        ordered: list[PointResult | None] = [None] * len(tasks)
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_task, tasks[i]): i
+                for i in dispatch_order(tasks, self.cost_hints)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    point = future.result()
+                except Exception as exc:
+                    # BrokenProcessPool, pickling failures and task
+                    # exceptions alike: name the point, keep the cause.
+                    raise SweepError(
+                        f"sweep task {tasks[i].point_id} failed in a pool "
+                        f"worker: {exc}"
+                    ) from exc
+                ordered[i] = point
+                self._report(progress, point, total=len(tasks))
+        lost = [tasks[i].point_id for i, p in enumerate(ordered) if p is None]
+        if lost:
+            raise SweepError(
+                f"pool lost {len(lost)} task(s) without a result "
+                f"(worker died?): {', '.join(lost[:3])}"
+                + ("..." if len(lost) > 3 else "")
+            )
+        return ordered

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 import repro.protocols as protocols
 from repro.calibration import CalibrationProfile
 from repro.core.messages import Ack, SignedMessage
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.failures.faults import WrongDigestFault
 from repro.harness.cluster import build_cluster
 from repro.harness.metrics import (
@@ -48,6 +48,7 @@ from repro.harness.metrics import (
 from repro.harness.report import render_series, render_table
 from repro.harness.runner import (
     PointResult,
+    default_executor,
     execute,
     f3_grid,
     failover_grid,
@@ -440,12 +441,13 @@ def _render_figure(figure: str, results: list[PointResult]) -> None:
         ))
 
 
-def _sweep_params(args, figure: str) -> dict:
+def _sweep_params(args, figure: str, executor: str) -> dict:
     return {
         "figure": figure,
         "quick": bool(args.quick),
         "seed": args.seed,
         "jobs": args.jobs,
+        "executor": executor,
     }
 
 
@@ -453,15 +455,19 @@ def _cmd_figure(figure: str, args) -> int:
     from repro.harness.artifact import from_results, write_artifact
 
     tasks = _figure_tasks(figure, args.quick, args.seed)
+    executor = args.executor or default_executor(args.jobs, len(tasks))
     started = time.perf_counter()
     results = execute(
         tasks, jobs=args.jobs,
         progress=print_progress if args.progress else None,
+        executor=executor,
+        checkpoint=args.resume,
     )
     wall = time.perf_counter() - started
     if args.json_dir:
         artifact = from_results(
-            figure, results, params=_sweep_params(args, figure), wall_time_s=wall
+            figure, results,
+            params=_sweep_params(args, figure, executor), wall_time_s=wall,
         )
         path = write_artifact(artifact, args.json_dir)
         print(f"wrote {path}", file=sys.stderr)
@@ -501,9 +507,18 @@ def _cmd_suite(args) -> int:
         file=sys.stderr,
     )
     started = time.perf_counter()
+    # A prior run's artifacts are a perfect cost oracle (deterministic
+    # per-point event counts): dispatch the expensive points first so
+    # the slowest task never straggles at the tail of the sweep.
+    from repro.harness.exec import load_cost_hints
+
+    executor = args.executor or default_executor(args.jobs, len(unique))
     results = execute(
         unique, jobs=args.jobs,
         progress=None if args.no_progress else print_progress,
+        executor=executor,
+        checkpoint=args.resume,
+        cost_hints=load_cost_hints(args.baseline_dir),
     )
     wall = time.perf_counter() - started
     by_task = dict(zip(unique, results))
@@ -513,7 +528,7 @@ def _cmd_suite(args) -> int:
     for figure in figures:
         figure_results = [by_task[task] for task in grids[figure]]
         artifact = from_results(
-            figure, figure_results, params=_sweep_params(args, figure)
+            figure, figure_results, params=_sweep_params(args, figure, executor)
         )
         path = write_artifact(artifact, args.json_dir)
         artifacts[figure] = artifact
@@ -573,10 +588,20 @@ def _cmd_protocols(args) -> int:
 
 
 def _add_sweep_options(parser, json_dir_default=None) -> None:
+    from repro.harness import exec as exec_backends
+
     parser.add_argument("--quick", action="store_true", help="fewer points/batches")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial, in-process)")
+    parser.add_argument("--executor", default=None,
+                        choices=exec_backends.names(),
+                        help="execution backend (default: serial for "
+                             "--jobs 1, pool otherwise)")
+    parser.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="checkpoint journal: finished points are "
+                             "appended here as they complete, and points "
+                             "already journaled are not re-run")
     parser.add_argument("--json-dir", default=json_dir_default,
                         help="write BENCH_<figure>.json artifacts here")
 
@@ -631,6 +656,14 @@ def main(argv: list[str] | None = None) -> int:
     protocols_parser.add_argument("--f", type=int, default=2,
                                   help="fault tolerance shown in the n(f) column")
 
+    worker_parser = sub.add_parser(
+        "worker", help="run sweep tasks streamed from a sockets-executor "
+                       "coordinator (spawned automatically for local "
+                       "sweeps; start by hand on extra hosts)"
+    )
+    worker_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
+                               help="coordinator address")
+
     from repro.harness.perf import add_perf_arguments
 
     perf_parser = sub.add_parser(
@@ -654,8 +687,12 @@ def main(argv: list[str] | None = None) -> int:
             from repro.harness.perf import cmd_perf
 
             return cmd_perf(args)
+        if args.command == "worker":
+            from repro.harness.exec.sockets import main as worker_main
+
+            return worker_main(["--connect", args.connect])
         return _cmd_figure(args.command, args)
-    except ConfigError as exc:
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

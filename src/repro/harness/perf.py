@@ -181,6 +181,15 @@ def cmd_perf(args) -> int:
         ("run", "wall (s)", "events", "events/s"),
         rows,
     ))
+    # The dispatch scheduler's shape-derived cost key next to the
+    # measured event count: a sanity anchor for the heuristic in
+    # repro.harness.exec.schedule (units are arbitrary; only the
+    # ordering across tasks matters).
+    from repro.harness.exec.schedule import predicted_cost
+
+    print(f"  scheduler cost key (shape heuristic): "
+          f"{predicted_cost(REFERENCE_TASK):,.0f} slots; "
+          f"measured events: {best.events:,}")
     if not args.no_micro:
         micro = [
             (name, f"{rate:,.0f}", unit) for name, rate, unit in microbench()

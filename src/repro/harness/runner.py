@@ -1,19 +1,19 @@
-"""Parallel sweep execution over pure, picklable sweep tasks.
+"""Sweep tasks, the ``execute()`` facade and series assembly.
 
 The figure sweeps of :mod:`repro.harness.experiments` are grids of
 independent simulation runs: each (protocol, scheme, interval) point
 builds a fresh cluster from an explicit seed and returns plain data.
-This module turns every such point into a :class:`SweepTask` value and
-executes task grids across a ``multiprocessing`` worker pool, so a
-figure regeneration scales with cores instead of walking the grid one
-point at a time.
+This module turns every such point into a :class:`SweepTask` value;
+*executing* a grid is the job of the pluggable backends registered in
+:mod:`repro.harness.exec` (``serial``, ``pool``, ``sockets``), reached
+through the stable :func:`execute` facade below.
 
 Determinism: a task carries everything that influences its outcome
 (protocol, scheme, interval, ``f``, seed, batch counts, calibration
 profile name), and :func:`run_task` is a pure function of the task —
-the same grid therefore produces byte-identical results whether it is
-executed serially (``jobs=1``) or across any number of workers, in any
-completion order.
+the same grid therefore produces byte-identical results whichever
+backend runs it, across any number of workers, in any completion
+order.
 
 Calibration profiles are referenced *by name* so tasks stay small and
 picklable; each worker process resolves a name to a profile once and
@@ -27,15 +27,21 @@ Typical use::
                        intervals=(0.040, 0.100, 0.500))
     results = execute(tasks, jobs=4, progress=print_progress)
     series = order_series(results, value="latency_mean")
+
+Scaling out, resuming::
+
+    execute(tasks, jobs=8, executor="sockets")       # worker subprocesses over TCP
+    execute(tasks, jobs=4, checkpoint="sweep.ckpt")  # journal + resume
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import Callable, Iterable, Sequence
 
 from repro.calibration import CalibrationProfile, ideal_testbed, paper_testbed
@@ -113,7 +119,7 @@ class SweepTask:
             return float(self.seed)
         return float(self.backlog_batches)
 
-    @property
+    @cached_property
     def point_id(self) -> str:
         """Stable identifier used to match points across artifacts.
 
@@ -121,14 +127,16 @@ class SweepTask:
         sweeps of different shapes (batch counts, calibration, a
         failover run's batching interval) can never silently compare
         as the same point in the baseline gate.
+
+        Memoised per instance (tasks are frozen values): the scenario
+        branch digests the whole spec, and progress reporting reads the
+        id once per completed point — recomputing it each time would
+        make the cheapest grids pay a sha256 per progress line.
         """
         if self.kind == SCENARIO:
             # The spec digest covers every field (faults, workload,
             # duration, config overrides), so two different scenarios
             # sharing a name can never compare as the same point.
-            import hashlib
-            import json
-
             from repro.harness.scenario import spec_to_dict
 
             payload = json.dumps(
@@ -236,7 +244,7 @@ def run_task(task: SweepTask) -> PointResult:
 
 
 # ----------------------------------------------------------------------
-# Pool execution with progress/ETA
+# Progress reporting (shared by every execution backend)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Progress:
@@ -267,51 +275,61 @@ def print_progress(progress: Progress, stream=None) -> None:
     )
 
 
+def default_executor(jobs: int, n_tasks: int) -> str:
+    """The backend :func:`execute` picks when none is named — the
+    single source of truth, shared with callers (the CLI) that record
+    which backend ran."""
+    return "pool" if jobs > 1 and n_tasks > 1 else "serial"
+
+
 def execute(
     tasks: Iterable[SweepTask],
     jobs: int = 1,
     progress: Callable[[Progress], None] | bool | None = None,
+    executor: str | None = None,
+    checkpoint: str | None = None,
+    cost_hints: dict[str, float] | None = None,
 ) -> list[PointResult]:
     """Run every task and return results in task order.
 
-    ``jobs <= 1`` runs serially in-process (no pool, no pickling);
-    larger values fan the grid out over a worker-process pool.  Both
-    paths produce identical results for the same tasks.
+    The stable facade over the execution backends registered in
+    :mod:`repro.harness.exec`:
+
+    * ``executor`` names a backend (``"serial"``, ``"pool"``,
+      ``"sockets"``, or anything registered).  ``None`` keeps the
+      historical behaviour — ``jobs <= 1`` runs serially in-process
+      (no pool, no pickling), larger values fan the grid out over a
+      worker-process pool.  Every backend produces identical results
+      for the same tasks.
+    * ``checkpoint`` names a journal file: each finished point is
+      appended as it completes, and a re-run against the same path
+      skips points the journal already holds — an interrupted sweep
+      resumes instead of starting over.
+    * ``cost_hints`` maps ``point_id`` to a relative cost (typically
+      ``events`` telemetry from a prior artifact); parallel backends
+      dispatch predicted-expensive tasks first so the slowest point
+      never straggles at the tail.  Result order is unaffected.
 
     ``progress`` is a per-completion callback; any falsy value
     (``None``, ``False``) disables reporting, so callers can write
     ``progress=False`` without tripping over the callable protocol.
+    ``True`` selects the default stderr reporter.
     """
+    from repro.harness import exec as exec_backends
+
     if not progress:
         progress = None
     elif progress is True:  # symmetric shorthand for the default reporter
         progress = print_progress
     tasks = list(tasks)
-    started = time.perf_counter()
-    if jobs <= 1 or len(tasks) <= 1:
-        results: list[PointResult] = []
-        for i, task in enumerate(tasks):
-            point = run_task(task)
-            results.append(point)
-            if progress is not None:
-                progress(Progress(done=i + 1, total=len(tasks),
-                                  elapsed=time.perf_counter() - started,
-                                  last=point))
-        return results
-
-    ordered: list[PointResult | None] = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = {pool.submit(run_task, task): i for i, task in enumerate(tasks)}
-        done = 0
-        for future in as_completed(futures):
-            point = future.result()
-            ordered[futures[future]] = point
-            done += 1
-            if progress is not None:
-                progress(Progress(done=done, total=len(tasks),
-                                  elapsed=time.perf_counter() - started,
-                                  last=point))
-    return list(ordered)
+    if executor is None:
+        executor = default_executor(jobs, len(tasks))
+    backend = exec_backends.create(executor, jobs=jobs, cost_hints=cost_hints)
+    if checkpoint is not None:
+        return exec_backends.run_with_checkpoint(
+            backend, tasks, checkpoint, progress=progress
+        )
+    return backend.run(tasks, progress=progress)
 
 
 # ----------------------------------------------------------------------

@@ -585,6 +585,15 @@ def add_scenario_arguments(parser) -> None:
                         help="comma-separated seeds: run a grid via the runner")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for --seeds grids")
+    from repro.harness import exec as exec_backends
+
+    parser.add_argument("--executor", default=None,
+                        choices=exec_backends.names(),
+                        help="execution backend for --seeds grids "
+                             "(default: serial for --jobs 1, pool otherwise)")
+    parser.add_argument("--resume", default=None, metavar="JOURNAL",
+                        help="checkpoint journal for --seeds grids: "
+                             "completed seeds are skipped on re-run")
 
 
 def cmd_scenario(args) -> int:
@@ -623,7 +632,9 @@ def cmd_scenario(args) -> int:
             raise ConfigError("--seeds names no seeds")
         tasks = scenario_grid(spec, seeds=seeds)
         results = [p.result for p in execute(tasks, jobs=args.jobs,
-                                             progress=print_progress)]
+                                             progress=print_progress,
+                                             executor=args.executor,
+                                             checkpoint=args.resume)]
     else:
         results = [run_scenario(spec)]
 

@@ -1,0 +1,150 @@
+"""Failure semantics: worker loss, exhausted retries, task errors.
+
+The do-all contract of the sockets backend — a dead worker is a
+scheduling event (the task reruns elsewhere, results unchanged), an
+unrunnable task is a clean, named error, never a hole in the results.
+
+Worker deaths are induced deterministically through the
+``REPRO_EXEC_CRASH=<substring>:<times>`` hook: a worker handed a task
+whose ``point_id`` contains the substring ``os._exit``\\ s while the
+attempt number is ``<= times``.
+"""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.harness.exec.pool import PoolExecutor
+from repro.harness.exec.serial import SerialExecutor
+from repro.harness.exec.sockets import SocketExecutor
+from repro.harness.runner import SweepTask, execute
+
+#: Runs fine serially, but its protocol lookup fails inside run_task —
+#: construction-time validation cannot catch it (registries are
+#: process-local), making it the canonical "task raises in a worker".
+UNRUNNABLE = SweepTask(kind="order", protocol="not-a-protocol",
+                       scheme="md5-rsa1024", batching_interval=0.1)
+
+
+# ----------------------------------------------------------------------
+# sockets: worker death and rescheduling
+# ----------------------------------------------------------------------
+def test_killed_worker_reschedules_and_results_match_serial(
+    grid, serial_reference
+):
+    """A worker dying mid-task costs wall time, never correctness: the
+    task is rescheduled and the sweep is byte-identical to serial."""
+    crash_on = grid[0].point_id.rsplit("/", 1)[0]  # the first grid point
+    backend = SocketExecutor(
+        jobs=2, worker_env={"REPRO_EXEC_CRASH": f"{crash_on}:1"}
+    )
+    results = backend.run(grid)
+    assert [p.task for p in results] == grid
+    assert [p.result for p in results] == [p.result for p in serial_reference]
+
+
+def test_retries_exhausted_is_a_clean_error_naming_the_point(grid):
+    backend = SocketExecutor(
+        jobs=2,
+        worker_env={"REPRO_EXEC_CRASH": f"{grid[0].point_id}:99"},
+    )
+    with pytest.raises(SweepError) as err:
+        backend.run(grid)
+    message = str(err.value)
+    assert grid[0].point_id in message
+    assert "giving up" in message
+
+
+def test_worker_task_exception_names_the_point():
+    with pytest.raises(SweepError) as err:
+        SocketExecutor(jobs=1).run([UNRUNNABLE])
+    message = str(err.value)
+    assert UNRUNNABLE.point_id in message
+    # The worker-side traceback travels with the error.
+    assert "ConfigError" in message
+
+
+def test_no_workers_at_all_fails_instead_of_hanging(grid, monkeypatch):
+    """Workers that cannot even start (broken interpreter, missing
+    package) must surface as an error, not an eternal wait."""
+    import subprocess
+    import sys
+
+    monkeypatch.setattr(
+        SocketExecutor, "_spawn_worker",
+        lambda self, port: subprocess.Popen(
+            [sys.executable, "-c", "import sys; sys.exit(3)"]
+        ),
+    )
+    with pytest.raises(SweepError, match="all sockets-executor workers"):
+        SocketExecutor(jobs=1).run(grid[:1])
+
+
+# ----------------------------------------------------------------------
+# pool: lost futures and task exceptions (the pre-refactor None-holes)
+# ----------------------------------------------------------------------
+def test_pool_task_exception_names_the_point(grid):
+    with pytest.raises(SweepError) as err:
+        PoolExecutor(jobs=2).run(grid[:1] + [UNRUNNABLE])
+    assert UNRUNNABLE.point_id in str(err.value)
+
+
+def _die_hard(task):
+    """Emulate the OOM killer: the worker vanishes — no exception, no
+    result, a broken pool (module-level so the pool can pickle it)."""
+    import os
+
+    os._exit(11)
+
+
+def test_pool_broken_worker_is_an_error_not_a_none_hole(monkeypatch):
+    """A worker dying without an answer breaks the pool; the caller
+    must see a SweepError naming a point, never a None in the list."""
+    import repro.harness.exec.pool as pool_mod
+
+    task = SweepTask(kind="order", protocol="sc", scheme="md5-rsa1024",
+                     batching_interval=0.1, n_batches=6, warmup_batches=2)
+    monkeypatch.setattr(pool_mod, "run_task", _die_hard)
+    with pytest.raises(SweepError) as err:
+        PoolExecutor(jobs=2).run([task])
+    assert task.point_id in str(err.value)
+
+
+def test_sockets_local_callback_failure_aborts_cleanly(grid):
+    """A failing progress/checkpoint callback is a coordinator-side
+    error (e.g. full disk): it must abort the sweep with the real
+    cause, not be misread as a dead worker and churn respawns."""
+
+    def disk_full(snapshot):
+        raise OSError("No space left on device")
+
+    with pytest.raises(SweepError, match="callback failed"):
+        SocketExecutor(jobs=1).run(grid[:2], progress=disk_full)
+
+
+# ----------------------------------------------------------------------
+# serial: same error contract, full traceback as the cause
+# ----------------------------------------------------------------------
+def test_serial_wraps_any_exception_not_just_repro_errors(monkeypatch):
+    """Uniform failure contract: a plain bug inside a task run still
+    surfaces as a SweepError naming the point, as under pool/sockets."""
+    import repro.harness.exec.serial as serial_mod
+
+    task = SweepTask(kind="order", protocol="sc", scheme="md5-rsa1024",
+                     batching_interval=0.1, n_batches=6, warmup_batches=2)
+    def buggy_run_task(task):
+        raise ValueError("plain bug")
+
+    monkeypatch.setattr(serial_mod, "run_task", buggy_run_task)
+    with pytest.raises(SweepError, match="plain bug") as err:
+        SerialExecutor().run([task])
+    assert task.point_id in str(err.value)
+def test_serial_task_exception_names_the_point():
+    with pytest.raises(SweepError) as err:
+        SerialExecutor().run([UNRUNNABLE])
+    assert UNRUNNABLE.point_id in str(err.value)
+    assert err.value.__cause__ is not None
+
+
+def test_facade_propagates_backend_errors():
+    with pytest.raises(SweepError):
+        execute([UNRUNNABLE], jobs=1)

@@ -149,3 +149,41 @@ def test_cli_compare_missing_file(fast_runners, tmp_path, capsys):
         "compare", str(tmp_path / "nope.json"), str(tmp_path / "nope.json"),
     ]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_cli_executor_selector(fast_runners, tmp_path, capsys):
+    """--executor reaches the registry; an unknown name is an argparse
+    error (choices come from the registry itself)."""
+    assert main(["fig4", "--quick", "--executor", "serial",
+                 "--json-dir", str(tmp_path)]) == 0
+    assert load_artifact(tmp_path / "BENCH_fig4.json").params["executor"] == (
+        "serial"
+    )
+    with pytest.raises(SystemExit):
+        main(["fig4", "--quick", "--executor", "smoke-signals"])
+
+
+def test_cli_resume_skips_finished_points(fast_runners, tmp_path, capsys):
+    """A second run against the same journal re-executes nothing and
+    still writes a complete artifact."""
+    journal = tmp_path / "sweep.ckpt"
+    assert main(["fig4", "--quick", "--resume", str(journal),
+                 "--json-dir", str(tmp_path)]) == 0
+    assert journal.exists()
+    first = load_artifact(tmp_path / "BENCH_fig4.json")
+
+    def exploding_order(*args, **kwargs):  # resume must not call this
+        raise AssertionError("a journaled point was re-executed")
+
+    experiments.run_order_experiment = exploding_order
+    assert main(["fig4", "--quick", "--resume", str(journal),
+                 "--json-dir", str(tmp_path)]) == 0
+    again = load_artifact(tmp_path / "BENCH_fig4.json")
+    assert [p["metrics"] for p in again.points] == [
+        p["metrics"] for p in first.points
+    ]
+
+
+def test_cli_worker_rejects_bad_connect():
+    with pytest.raises(SystemExit):
+        main(["worker", "--connect", "not-an-address"])

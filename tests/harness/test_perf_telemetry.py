@@ -28,6 +28,10 @@ from repro.harness.perf import REFERENCE_TASK, microbench, run_reference_point
 from repro.harness.runner import SweepTask, execute, run_task
 
 BASELINE_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+#: A frozen schema-v1 document (the PR 1 fig4 baseline, kept verbatim
+#: when the committed baselines moved to v2) — the fixture that keeps
+#: the v1-reader compatibility path exercised forever.
+V1_FIXTURE = Path(__file__).resolve().parent / "data" / "BENCH_fig4_v1.json"
 
 #: A fast sweep point (sub-second) for determinism and artifact tests.
 QUICK_TASK = SweepTask(
@@ -111,16 +115,31 @@ def test_v2_round_trips_through_baseline_comparator(quick_results, tmp_path):
     assert "not gated" in rendered
 
 
-def test_reader_accepts_committed_v1_baselines(quick_results):
-    """The committed quick-mode baselines are schema v1 and must stay
+def test_reader_accepts_v1_documents(quick_results):
+    """Schema-v1 artifacts (the pre-telemetry layout) must stay
     loadable; telemetry reads as zero there."""
-    path = BASELINE_DIR / "BENCH_fig4.json"
-    baseline = load_artifact(path)
-    assert json.loads(path.read_text())["schema_version"] == 1
+    baseline = load_artifact(V1_FIXTURE)
+    assert json.loads(V1_FIXTURE.read_text())["schema_version"] == 1
     assert baseline.schema_version == 1
     assert baseline.events_total == 0
     assert baseline.events_per_second == 0.0
     assert all("events" not in p for p in baseline.points)
+
+
+def test_committed_baselines_are_v2_with_telemetry():
+    """The committed quick-mode baselines regenerated to schema v2:
+    telemetry present, and the metrics identical to the v1 era (the
+    fixture is the old fig4 document verbatim)."""
+    for figure in ("fig4", "fig5", "fig6", "f3"):
+        baseline = load_artifact(BASELINE_DIR / f"BENCH_{figure}.json")
+        assert baseline.schema_version == 2
+        assert baseline.events_total > 0
+        assert all(p["events"] > 0 for p in baseline.points)
+    v2_fig4 = load_artifact(BASELINE_DIR / "BENCH_fig4.json")
+    v1_fig4 = load_artifact(V1_FIXTURE)
+    assert {p["id"]: p["metrics"] for p in v2_fig4.points} == {
+        p["id"]: p["metrics"] for p in v1_fig4.points
+    }
 
 
 def test_v1_vs_v2_comparison_gates_metrics_only(quick_results, tmp_path):
