@@ -21,6 +21,18 @@ class ConfigError(ReproError):
     """
 
 
+class MetricsError(ReproError):
+    """Metric extraction from a trace failed.
+
+    Raised by :mod:`repro.harness.metrics` and the measurement probes
+    in :mod:`repro.harness.probes` when a trace cannot support the
+    requested quantity — no latency samples to aggregate, an empty
+    throughput window, a fail-over measurement without a complete
+    episode.  Distinct from :class:`ConfigError`: the *set-up* was
+    valid, the *measurement* could not be brought to a number.
+    """
+
+
 class SweepError(ReproError):
     """A sweep task could not be brought to a result.
 

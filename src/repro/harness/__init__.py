@@ -9,8 +9,11 @@ figures.
   frozen value, runnable one-off, as runner grids, or via
   ``python -m repro scenario``;
 * :mod:`~repro.harness.workload` — open-loop clients;
-* :mod:`~repro.harness.metrics` — latency / throughput / fail-over
-  extraction from traces;
+* :mod:`~repro.harness.probes` — registry-backed measurement probes
+  streaming over the trace (``order-latency``, ``throughput``,
+  ``failover``, and anything registered);
+* :mod:`~repro.harness.metrics` — post-hoc latency / throughput /
+  fail-over extraction from retained traces (the probes' oracle);
 * :mod:`~repro.harness.experiments` — one runner per paper artefact
   (Figure 4, Figure 5, Figure 6, the f = 3 discussion), with a CLI:
   ``python -m repro fig4`` / ``python -m repro suite``;
@@ -42,6 +45,12 @@ from repro.harness.metrics import (
     linear_fit,
     throughput_per_process,
 )
+from repro.harness.probes import (
+    MetricSeries,
+    Probe,
+    ProbeContext,
+    ProbeReport,
+)
 from repro.harness.stats import Summary, repeat_order_experiment, summarize
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
 
@@ -49,6 +58,10 @@ __all__ = [
     "BUILTIN_SCENARIOS",
     "Cluster",
     "LatencyStats",
+    "MetricSeries",
+    "Probe",
+    "ProbeContext",
+    "ProbeReport",
     "OpenLoopWorkload",
     "ScenarioResult",
     "ScenarioSpec",

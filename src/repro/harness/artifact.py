@@ -8,10 +8,10 @@ benchmark runs and the regression gate in
 :mod:`repro.harness.baseline` — CI uploads them and diffs them against
 committed baselines.
 
-Schema (version 2)::
+Schema (version 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "figure": "fig4",
       "git_sha": "<40 hex chars or 'unknown'>",
       "created_at": "2026-07-29T12:00:00Z",
@@ -25,6 +25,7 @@ Schema (version 2)::
         {"id": "order/sc/md5-rsa1024/f2/i0.04/s1",
          "kind": "order", "protocol": "sc", "scheme": "md5-rsa1024",
          "f": 2, "x": 0.04,
+         "probes": ["order-latency", "throughput"],  # v3
          "metrics": {"latency_mean": ..., "throughput": ...},
          "wall_time_s": 1.2,
          "events": 56789,               # v2: deterministic event count
@@ -35,12 +36,17 @@ Schema (version 2)::
 
 ``points[*].id`` is the stable join key the baseline comparator
 matches on; ``metrics`` values are deterministic simulation outputs.
-Version 2 adds the **wall-time telemetry** (``events``/
+Version 2 added the **wall-time telemetry** (``events``/
 ``events_per_second`` per point and per suite) so a harness slowdown
 is visible in the artifact trail; these fields are informational and
 never gated — only ``metrics`` is — because wall time varies between
-machines.  The reader accepts version 1 documents (the committed
-quick-mode baselines) unchanged: v1 simply has no telemetry.
+machines.  Version 3 makes the metric map **probe-emitted**: each
+point records which registered measurement probes
+(:mod:`repro.harness.probes`) produced its metrics, so a document is
+self-describing about *what* was measured, and the baseline gate keys
+purely on metric names whichever probes emitted them.  The reader
+accepts version 1 and 2 documents unchanged (``probes`` reads as
+absent there).
 """
 
 from __future__ import annotations
@@ -58,10 +64,11 @@ from repro.errors import ConfigError
 from repro.harness.runner import PointResult
 
 #: Version written by this build.  Bump on incompatible layout change.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 #: Versions :func:`load_artifact` accepts (v1 lacks the telemetry
-#: fields; every v1 key kept its meaning in v2).
-SUPPORTED_VERSIONS = (1, 2)
+#: fields, v1/v2 lack per-point probe names; every key kept its
+#: meaning across versions).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 _REQUIRED_KEYS = (
     "schema_version", "figure", "git_sha", "created_at",
@@ -139,6 +146,7 @@ def from_results(
             "scheme": r.task.scheme,
             "f": r.task.f,
             "x": r.task.x,
+            "probes": list(r.probes),
             "metrics": r.metrics(),
             "wall_time_s": r.wall_time,
             "events": r.events_processed,
@@ -186,6 +194,12 @@ def validate(data: dict) -> dict:
             raise ConfigError(f"artifact point {i} missing keys: {missing}")
         if not isinstance(point["metrics"], dict):
             raise ConfigError(f"artifact point {i} 'metrics' must be an object")
+        if data["schema_version"] >= 3 and not isinstance(
+            point.get("probes"), list
+        ):
+            raise ConfigError(
+                f"artifact point {i} needs a 'probes' list (schema v3)"
+            )
     ids = [point["id"] for point in data["points"]]
     if len(set(ids)) != len(ids):
         duplicates = sorted({pid for pid in ids if ids.count(pid) > 1})

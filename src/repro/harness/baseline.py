@@ -33,7 +33,20 @@ DEFAULT_TOLERANCE_PCT = 10.0
 
 
 def metric_direction(name: str) -> str | None:
-    """``"lower"`` / ``"higher"`` is better, or ``None`` (not gated)."""
+    """``"lower"`` / ``"higher"`` is better, or ``None`` (not gated).
+
+    Probes own their metrics' gate directions: the registry is
+    consulted first (both bare names and the ``<probe>.<metric>``
+    namespaced form scenario probe metrics use), so registering a new
+    probe automatically gates what it declares.  The name heuristics
+    remain as a fallback for metrics no probe claims (the scenario
+    built-ins, and any v1/v2-era artifact names).
+    """
+    from repro.harness import probes as probe_registry
+
+    direction = probe_registry.metric_direction(name)
+    if direction is not None:
+        return direction
     if name.startswith("latency") or name == "failover_latency":
         return "lower"
     if name.startswith("throughput"):

@@ -39,8 +39,9 @@ Failure semantics:
 
 By default the coordinator binds the loopback interface and spawns
 ``jobs`` local workers — byte-identical to ``serial``/``pool``, just
-over TCP.  For multi-host use, construct
-``SocketExecutor(bind="0.0.0.0", port=5555, spawn=0, jobs=N)`` and
+over TCP.  For multi-host use, pass ``--executor sockets --bind
+0.0.0.0:5555 --spawn 0`` to any sweep command (equivalently, construct
+``SocketExecutor(bind="0.0.0.0", port=5555, spawn=0, jobs=N)``) and
 start ``python -m repro worker --connect coord-host:5555`` on as many
 machines as you like (the grid waits for connections); ``jobs`` then
 only caps how many tasks are in flight at once per accepted worker
@@ -258,6 +259,16 @@ class SocketExecutor(Executor):
         listener.listen()
         listener.settimeout(0.2)
         self._bound_port = port = listener.getsockname()[1]
+        if self.spawn == 0:
+            # External-worker mode (CLI --bind/--spawn 0): the grid
+            # waits for joins, so tell the operator where to point
+            # `python -m repro worker` on the other hosts.
+            print(
+                f"sockets executor listening on {self.bind}:{port} — "
+                f"join workers with: python -m repro worker "
+                f"--connect <this-host>:{port}",
+                file=sys.stderr, flush=True,
+            )
         try:
             for _ in range(min(self.spawn, len(tasks))):
                 self._procs.append(self._spawn_worker(port))

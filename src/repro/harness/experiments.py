@@ -1,8 +1,10 @@
 """Experiment runners: one per paper artefact.
 
-Each point experiment builds a fresh cluster, drives it, and returns
-plain data (dataclasses) that the benchmarks assert on and the CLI
-renders.  Paper mapping:
+Each point experiment builds a fresh cluster, wires the requested
+measurement probes (:mod:`repro.harness.probes`), drives the run and
+returns a generic :class:`~repro.harness.probes.ProbeReport` — the
+probes' merged metric map, readable by name or attribute.  Paper
+mapping:
 
 * :func:`run_order_experiment` / :func:`fig4` — order latency vs
   batching interval, per protocol and crypto scheme (Figure 4 a/b/c);
@@ -29,22 +31,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import dataclass
 
+import repro.harness.probes as probe_registry
 import repro.protocols as protocols
 from repro.calibration import CalibrationProfile
 from repro.core.messages import Ack, SignedMessage
 from repro.errors import ConfigError, ReproError
 from repro.failures.faults import WrongDigestFault
 from repro.harness.cluster import build_cluster
-from repro.harness.metrics import (
-    backlog_bytes_observed,
-    collect_latencies,
-    failover_latency,
-    latency_stats,
-    linear_fit,
-    throughput_per_process,
-)
+from repro.harness.metrics import linear_fit
+from repro.harness.probes import ProbeContext, ProbeReport, merged_values
 from repro.harness.report import render_series, render_table
 from repro.harness.runner import (
     PointResult,
@@ -75,42 +71,20 @@ from repro.net.message import Envelope
 from repro.sim.trace import Tracer
 
 
-def _slim_tracer() -> Tracer:
-    """Keep only the records the metrics read (memory-bounded runs)."""
-    wanted = {
-        "batch_formed",
-        "order_committed",
-        "fail_signal_emitted",
-        "failover_complete",
-        "backlog_sent",
-        "view_change_sent",
-        "install_committed",
-        "coordinator_installed",
-        "view_installed",
-        "pair_recovered",
-    }
-    return Tracer(keep=lambda record: record.kind in wanted)
+#: Probes an order experiment wires when none are selected: the
+#: paper's Figure 4/5 measurements.
+DEFAULT_ORDER_PROBES = ("order-latency", "throughput")
+#: Probes a fail-over experiment wires by default (Figure 6).
+DEFAULT_FAILOVER_PROBES = ("failover",)
+#: Fewest measured batches for a valid order point.
+MIN_ORDER_SAMPLES = 5
 
 
-@dataclass(frozen=True)
-class OrderRunResult:
-    """Latency/throughput measurement of one (protocol, scheme,
-    interval) point."""
-
-    protocol: str
-    scheme: str
-    f: int
-    batching_interval: float
-    latency_mean: float
-    latency_p50: float
-    latency_p95: float
-    throughput: float
-    batches_measured: int
-    #: Simulator events the run processed — deterministic, and the
-    #: denominator-free half of the harness-speed telemetry (events
-    #: per wall second) carried by artifact schema v2.  Not a metric:
-    #: it says nothing about the simulated system.
-    events_processed: int = 0
+def _probe_tracer(selected: tuple[str, ...]) -> Tracer:
+    """A tracer retaining only the union of the selected probes'
+    declared kinds — the keep-filter is *derived*, so a run holds no
+    records no probe wants and new probes never edit the experiments."""
+    return Tracer(keep_kinds=probe_registry.kinds_union(selected))
 
 
 def run_order_experiment(
@@ -122,26 +96,52 @@ def run_order_experiment(
     n_batches: int = 100,
     warmup_batches: int = 15,
     calibration: CalibrationProfile | None = None,
-) -> OrderRunResult:
-    """Measure order latency and throughput at one sweep point.
+    probes: tuple[str, ...] | None = None,
+) -> ProbeReport:
+    """Measure one order sweep point through the selected probes.
 
     The workload saturates batches (the paper's throughput rises as the
     interval shrinks because each interval's 1 KB batch is always
     full), and each point aggregates ``n_batches`` measured batches
     after warm-up — the paper averages 100 experimental results.
+    ``probes`` names registered probes (default: the paper's
+    latency and throughput measurements).
     """
     plugin = protocols.get(protocol)
+    selected = probe_registry.validate_names(
+        DEFAULT_ORDER_PROBES if probes is None else probes
+    )
     config = plugin.configure(
         scheme=scheme_name, f=f, batching_interval=batching_interval
     )
     cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
-    # Replace the tracer before start(): actors emit via sim.trace, so
-    # the slim filter applies to everything the run produces.
-    cluster.sim.trace = _slim_tracer()
     rate = saturating_rate(
         config.batch_size_bytes, config.request_bytes, batching_interval
     )
     duration = (warmup_batches + n_batches + 4) * batching_interval
+    # Throughput counts commits inside the arrival window (the paper's
+    # per-second commit rate); the drain period only settles latency
+    # measurements and would dilute the rate.
+    context = ProbeContext(
+        protocol=protocol,
+        scheme=scheme_name,
+        f=f,
+        seed=seed,
+        batching_interval=batching_interval,
+        window_start=warmup_batches * batching_interval,
+        window_end=duration,
+        warmup_batches=warmup_batches,
+        cap=n_batches,
+        min_samples=MIN_ORDER_SAMPLES,
+        label=f"{protocol}/{scheme_name}@{batching_interval}",
+    )
+    active = probe_registry.create_all(selected, context)
+    # Replace the tracer before start(): actors emit via sim.trace, so
+    # the derived keep-filter and the probe subscriptions cover
+    # everything the run produces.
+    cluster.sim.trace = _probe_tracer(selected)
+    for probe in active:
+        probe.attach(cluster.sim.trace)
     workload = OpenLoopWorkload(cluster, rate=rate, duration=duration)
     workload.install()
     cluster.start()
@@ -149,47 +149,15 @@ def run_order_experiment(
     # figures' blow-up regions) lag far behind the arrival window.
     drain = max(2.0, 60 * batching_interval)
     cluster.run(until=duration + drain)
-    samples = collect_latencies(cluster.sim.trace)
-    if len(samples) < 5:
-        raise ConfigError(
-            f"too few batches measured ({len(samples)}) for "
-            f"{protocol}/{scheme_name}@{batching_interval}"
-        )
-    # Deeply saturated points commit only a fraction of their batches
-    # within the run; keep at least five measured samples.
-    skip = min(warmup_batches, max(0, len(samples) - 5))
-    stats = latency_stats(samples, skip_first=skip, cap=n_batches)
-    # Throughput counts commits inside the arrival window (the paper's
-    # per-second commit rate); the drain period only settles latency
-    # measurements and would dilute the rate.
-    window_start = warmup_batches * batching_interval
-    window_end = duration
-    throughput = throughput_per_process(cluster.sim.trace, window_start, window_end)
-    return OrderRunResult(
+    return ProbeReport(
         protocol=protocol,
         scheme=plugin.reported_scheme(scheme_name),
         f=f,
-        batching_interval=batching_interval,
-        latency_mean=stats.mean,
-        latency_p50=stats.p50,
-        latency_p95=stats.p95,
-        throughput=throughput,
-        batches_measured=stats.count,
+        probes=selected,
+        values=merged_values(active),
+        series=tuple(s for probe in active for s in probe.series()),
         events_processed=cluster.sim.events_processed,
     )
-
-
-@dataclass(frozen=True)
-class FailoverRunResult:
-    """One fail-over measurement (Figure 6 point)."""
-
-    protocol: str
-    scheme: str
-    f: int
-    target_backlog_batches: int
-    observed_backlog_bytes: float
-    failover_latency: float
-    events_processed: int = 0
 
 
 def run_failover_experiment(
@@ -200,7 +168,8 @@ def run_failover_experiment(
     seed: int = 1,
     batching_interval: float = 0.250,
     calibration: CalibrationProfile | None = None,
-) -> FailoverRunResult:
+    probes: tuple[str, ...] | None = None,
+) -> ProbeReport:
     """Measure fail-over latency with a controlled BackLog size.
 
     Acks are held (a transient asynchronous-network delay, which the
@@ -214,11 +183,13 @@ def run_failover_experiment(
     if not plugin.supports_failover:
         capable = "/".join(protocols.failover_capable())
         raise ConfigError(f"fail-over experiment applies to {capable} only")
+    selected = probe_registry.validate_names(
+        DEFAULT_FAILOVER_PROBES if probes is None else probes
+    )
     config = plugin.configure(
         scheme=scheme_name, f=f, batching_interval=batching_interval
     )
     cluster = build_cluster(protocol, config=config, calibration=calibration, seed=seed)
-    cluster.sim.trace = _slim_tracer()
     sim = cluster.sim
 
     rate = saturating_rate(config.batch_size_bytes, config.request_bytes, batching_interval)
@@ -226,6 +197,23 @@ def run_failover_experiment(
     hold_at = warm + batching_interval * 0.5
     fault_at = hold_at + (backlog_batches + 0.5) * batching_interval
     duration = fault_at + 4.0
+    context = ProbeContext(
+        protocol=protocol,
+        scheme=scheme_name,
+        f=f,
+        seed=seed,
+        batching_interval=batching_interval,
+        window_start=0.0,
+        window_end=duration,
+        # An incomplete fail-over episode is an experiment failure
+        # here (scenarios run the same probe leniently with 0).
+        min_samples=1,
+        label=f"{protocol}/{scheme_name} backlog={backlog_batches}",
+    )
+    active = probe_registry.create_all(selected, context)
+    sim.trace = _probe_tracer(selected)
+    for probe in active:
+        probe.attach(sim.trace)
     workload = OpenLoopWorkload(cluster, rate=rate, duration=duration)
     workload.install()
 
@@ -239,27 +227,23 @@ def run_failover_experiment(
     # passed (releasing at the fail-signal instead would let the ack
     # burst race the BackLog exchange, committing the very orders whose
     # recovery fig. 6 measures).  The network stays reliable: every
-    # held ack is still delivered, merely late.
+    # held ack is still delivered, merely late.  A kind-scoped
+    # subscription fires whether or not any probe retains the record.
     sim.trace.subscribe(
-        lambda record: cluster.network.release_held()
-        if record.kind == "failover_complete"
-        else None
+        lambda record: cluster.network.release_held(),
+        kinds=("failover_complete",),
     )
     coordinator = cluster.process(plugin.initial_coordinator(config))
     cluster.injector.inject(coordinator, WrongDigestFault(active_from=fault_at))
     cluster.start()
     cluster.run(until=duration + 4.0)
-    latency = failover_latency(sim.trace)
-    completes = sim.trace.of_kind("failover_complete")
-    episode_end = completes[0].time if completes else None
-    observed = backlog_bytes_observed(sim.trace, before=episode_end)
-    return FailoverRunResult(
+    return ProbeReport(
         protocol=protocol,
         scheme=scheme_name,
         f=f,
-        target_backlog_batches=backlog_batches,
-        observed_backlog_bytes=observed,
-        failover_latency=latency,
+        probes=selected,
+        values=merged_values(active),
+        series=tuple(s for probe in active for s in probe.series()),
         events_processed=sim.events_processed,
     )
 
@@ -275,6 +259,7 @@ def fig4(
     n_batches: int = 100,
     jobs: int = 1,
     progress=None,
+    probes: tuple[str, ...] | None = None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Order latency vs batching interval; returns
     ``{scheme: {protocol: [(interval, latency_s), ...]}}``.
@@ -284,7 +269,8 @@ def fig4(
     suite`` (or one shared :func:`~repro.harness.runner.order_grid`)
     to pay for the grid once."""
     tasks = order_grid(
-        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed, n_batches=n_batches
+        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed,
+        n_batches=n_batches, probes=probes,
     )
     return order_series(
         execute(tasks, jobs=jobs, progress=progress), value="latency_mean"
@@ -299,10 +285,12 @@ def fig5(
     n_batches: int = 100,
     jobs: int = 1,
     progress=None,
+    probes: tuple[str, ...] | None = None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """Throughput vs batching interval; same shape as :func:`fig4`."""
     tasks = order_grid(
-        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed, n_batches=n_batches
+        ORDER_PROTOCOLS, schemes, intervals, f=f, seed=seed,
+        n_batches=n_batches, probes=probes,
     )
     return order_series(
         execute(tasks, jobs=jobs, progress=progress), value="throughput"
@@ -355,8 +343,40 @@ def f3_scaling(
 FIGURES = ("fig4", "fig5", "fig6", "f3")
 
 
-def _figure_tasks(figure: str, quick: bool, seed: int):
-    """The task grid one figure regenerates (quick or full shape)."""
+#: Metrics each figure's tables/series read.  A ``--probes``
+#: selection must measure them, or the sweep would only fail at
+#: render time — after every point has already run.
+FIGURE_METRICS = {
+    "fig4": ("latency_mean",),
+    "fig5": ("throughput",),
+    "fig6": ("failover_latency", "observed_backlog_bytes"),
+    "f3": ("latency_mean",),
+}
+
+
+def _require_figure_metrics(figure: str, probes: tuple[str, ...]) -> None:
+    """Fail fast when a probe selection cannot feed a figure."""
+    provided = {
+        metric
+        for name in probes
+        for metric in probe_registry.get(name).provides
+    }
+    missing = sorted(set(FIGURE_METRICS[figure]) - provided)
+    if missing:
+        raise ConfigError(
+            f"--probes {','.join(probes)} does not measure {missing}, "
+            f"which {figure} renders; `repro probes` shows what each "
+            f"probe provides"
+        )
+
+
+def _figure_tasks(figure: str, quick: bool, seed: int, probes=None):
+    """The task grid one figure regenerates (quick or full shape).
+
+    ``probes`` overrides every point's probe selection (``None`` keeps
+    each experiment's paper defaults)."""
+    if figure in FIGURES and probes is not None:
+        _require_figure_metrics(figure, probes)
     if figure in ("fig4", "fig5"):
         return order_grid(
             ORDER_PROTOCOLS,
@@ -364,6 +384,7 @@ def _figure_tasks(figure: str, quick: bool, seed: int):
             QUICK_INTERVALS if quick else PAPER_INTERVALS,
             seed=seed,
             n_batches=30 if quick else 100,
+            probes=probes,
         )
     if figure == "fig6":
         return failover_grid(
@@ -371,6 +392,7 @@ def _figure_tasks(figure: str, quick: bool, seed: int):
             ("md5-rsa1024",) if quick else PAPER_SCHEME_NAMES,
             QUICK_BACKLOG_BATCHES if quick else BACKLOG_BATCHES,
             seed=seed,
+            probes=probes,
         )
     if figure == "f3":
         return f3_grid(
@@ -379,8 +401,42 @@ def _figure_tasks(figure: str, quick: bool, seed: int):
             QUICK_F3_INTERVALS if quick else F3_INTERVALS,
             seed=seed,
             n_batches=20 if quick else 60,
+            probes=probes,
         )
     raise ConfigError(f"unknown figure {figure!r}; known: {FIGURES}")
+
+
+def _parse_probes(arg: str | None) -> tuple[str, ...] | None:
+    """``--probes a,b`` to validated names (``None`` = defaults)."""
+    if arg is None:
+        return None
+    selected = tuple(name.strip() for name in arg.split(",") if name.strip())
+    if not selected:
+        raise ConfigError("--probes names no probes")
+    return probe_registry.validate_names(selected)
+
+
+def _executor_options(args, executor: str) -> dict:
+    """Backend construction options from CLI flags (sockets only)."""
+    options: dict = {}
+    bind = getattr(args, "bind", None)
+    if bind is not None:
+        host, _, port = bind.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigError(f"--bind wants HOST:PORT, got {bind!r}")
+        options["bind"] = host
+        options["port"] = int(port)
+    spawn = getattr(args, "spawn", None)
+    if spawn is not None:
+        if spawn < 0:
+            raise ConfigError("--spawn must be >= 0")
+        options["spawn"] = spawn
+    if options and executor != "sockets":
+        raise ConfigError(
+            "--bind/--spawn configure the sockets coordinator; pass "
+            "--executor sockets"
+        )
+    return options
 
 
 def _render_figure(figure: str, results: list[PointResult]) -> None:
@@ -442,19 +498,23 @@ def _render_figure(figure: str, results: list[PointResult]) -> None:
 
 
 def _sweep_params(args, figure: str, executor: str) -> dict:
-    return {
+    params = {
         "figure": figure,
         "quick": bool(args.quick),
         "seed": args.seed,
         "jobs": args.jobs,
         "executor": executor,
     }
+    if getattr(args, "probes", None):
+        params["probes"] = list(_parse_probes(args.probes))
+    return params
 
 
 def _cmd_figure(figure: str, args) -> int:
     from repro.harness.artifact import from_results, write_artifact
 
-    tasks = _figure_tasks(figure, args.quick, args.seed)
+    tasks = _figure_tasks(figure, args.quick, args.seed,
+                          probes=_parse_probes(args.probes))
     executor = args.executor or default_executor(args.jobs, len(tasks))
     started = time.perf_counter()
     results = execute(
@@ -462,6 +522,7 @@ def _cmd_figure(figure: str, args) -> int:
         progress=print_progress if args.progress else None,
         executor=executor,
         checkpoint=args.resume,
+        executor_options=_executor_options(args, executor),
     )
     wall = time.perf_counter() - started
     if args.json_dir:
@@ -489,7 +550,11 @@ def _cmd_suite(args) -> int:
     if unknown:
         raise ConfigError(f"unknown figures {unknown}; known: {FIGURES}")
 
-    grids = {figure: _figure_tasks(figure, args.quick, args.seed) for figure in figures}
+    probes = _parse_probes(args.probes)
+    grids = {
+        figure: _figure_tasks(figure, args.quick, args.seed, probes=probes)
+        for figure in figures
+    }
     # Figures sharing identical sweep points (fig4/fig5 measure the
     # same runs) execute each unique task once; tasks are values, so
     # deduplication is plain hashing.
@@ -519,6 +584,7 @@ def _cmd_suite(args) -> int:
         executor=executor,
         checkpoint=args.resume,
         cost_hints=load_cost_hints(args.baseline_dir),
+        executor_options=_executor_options(args, executor),
     )
     wall = time.perf_counter() - started
     by_task = dict(zip(unique, results))
@@ -568,6 +634,36 @@ def _cmd_compare(args) -> int:
     )
 
 
+def _cmd_probes(args) -> int:
+    """List registered probes, or describe one in detail."""
+    if args.name:
+        cls = probe_registry.get(args.name)
+        directions = dict(cls.directions)
+        print(f"{cls.name} — {cls.description}")
+        print(f"  consumes : {', '.join(sorted(cls.kinds))}")
+        print("  metrics  :")
+        for metric in cls.provides:
+            gate = directions.get(metric)
+            note = f"gated ({gate} is better)" if gate else "informational"
+            print(f"    {metric:<24} {note}")
+        return 0
+    rows = [
+        (
+            cls.name,
+            ", ".join(cls.provides),
+            ", ".join(sorted(cls.kinds)),
+            cls.description,
+        )
+        for cls in probe_registry.all_probes()
+    ]
+    print(render_table(
+        "Registered measurement probes (repro.harness.probes)",
+        ("name", "metrics", "trace kinds", "description"),
+        rows,
+    ))
+    return 0
+
+
 def _cmd_protocols(args) -> int:
     rows = [
         (
@@ -602,6 +698,16 @@ def _add_sweep_options(parser, json_dir_default=None) -> None:
                         help="checkpoint journal: finished points are "
                              "appended here as they complete, and points "
                              "already journaled are not re-run")
+    parser.add_argument("--probes", default=None, metavar="P1,P2",
+                        help="probe selection for every point (default: "
+                             "each experiment's paper probes; see "
+                             "`repro probes`)")
+    parser.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="sockets executor: listen on this interface "
+                             "so workers can join from other hosts")
+    parser.add_argument("--spawn", type=int, default=None, metavar="N",
+                        help="sockets executor: local workers to spawn "
+                             "(0 = wait for external workers only)")
     parser.add_argument("--json-dir", default=json_dir_default,
                         help="write BENCH_<figure>.json artifacts here")
 
@@ -656,6 +762,12 @@ def main(argv: list[str] | None = None) -> int:
     protocols_parser.add_argument("--f", type=int, default=2,
                                   help="fault tolerance shown in the n(f) column")
 
+    probes_parser = sub.add_parser(
+        "probes", help="list registered measurement probes"
+    )
+    probes_parser.add_argument("name", nargs="?", default=None,
+                               help="describe one probe in detail")
+
     worker_parser = sub.add_parser(
         "worker", help="run sweep tasks streamed from a sockets-executor "
                        "coordinator (spawned automatically for local "
@@ -683,6 +795,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_scenario(args)
         if args.command == "protocols":
             return _cmd_protocols(args)
+        if args.command == "probes":
+            return _cmd_probes(args)
         if args.command == "perf":
             from repro.harness.perf import cmd_perf
 

@@ -14,6 +14,13 @@ The measured quantities follow the paper's definitions (Section 5):
   current coordinator issues fail-signal and the instance the new
   coordinator issues a Start message with (f+1) identifier-signature
   tuples" → ``fail_signal_emitted`` to ``failover_complete``.
+
+These functions extract *post hoc* from a retained trace.  The sweep
+experiments measure through the streaming probes of
+:mod:`repro.harness.probes` instead, which consume records as they are
+emitted; this module stays as the reference implementation the probes
+are equivalence-tested against (and as the convenient API for tests
+and examples that already hold a full trace).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import MetricsError
 from repro.sim.trace import Tracer
 
 
@@ -52,7 +59,7 @@ class LatencyStats:
     @classmethod
     def from_values(cls, values: list[float]) -> "LatencyStats":
         if not values:
-            raise ConfigError("no latency samples to aggregate")
+            raise MetricsError("no latency samples to aggregate")
         ordered = sorted(values)
 
         def pct(p: float) -> float:
@@ -110,7 +117,7 @@ def throughput_per_process(
     the per-process rates when ``process`` is None).
     """
     if window_end <= window_start:
-        raise ConfigError("empty throughput window")
+        raise MetricsError("empty throughput window")
     per_actor: dict[str, int] = {}
     for record in trace.of_kind("order_committed"):
         if not window_start <= record.time < window_end:
@@ -131,7 +138,7 @@ def failover_latency(trace: Tracer) -> float:
     signals = trace.of_kind("fail_signal_emitted")
     completes = trace.of_kind("failover_complete")
     if not signals or not completes:
-        raise ConfigError("trace contains no complete fail-over episode")
+        raise MetricsError("trace contains no complete fail-over episode")
     t0 = min(record.time for record in signals)
     t1 = min(record.time for record in completes if record.time >= t0)
     return t1 - t0
@@ -162,7 +169,7 @@ def linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
     linearly with BackLog size.
     """
     if len(xs) != len(ys) or len(xs) < 2:
-        raise ConfigError("need at least two points for a fit")
+        raise MetricsError("need at least two points for a fit")
     n = len(xs)
     mean_x = sum(xs) / n
     mean_y = sum(ys) / n
@@ -170,7 +177,7 @@ def linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
     syy = sum((y - mean_y) ** 2 for y in ys)
     if sxx == 0:
-        raise ConfigError("degenerate fit: all x equal")
+        raise MetricsError("degenerate fit: all x equal")
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     r2 = 1.0 if syy == 0 else (sxy * sxy) / (sxx * syy)

@@ -144,6 +144,21 @@ def microbench() -> list[tuple[str, float, str]]:
     for name, use_stdlib in (("hashlib", True), ("from-scratch", False)):
         rate = _ops_per_second(lambda: digest("md5", data, use_stdlib=use_stdlib))
         results.append((f"md5 1KB ({name})", rate / 1024.0, "MB/s"))
+    # The streaming-measurement overhead: one probe consuming one
+    # commit record — the per-record cost every probed sweep pays on
+    # the emit path.
+    from repro.harness.probes import OrderLatencyProbe, ProbeContext
+    from repro.sim.trace import TraceRecord
+
+    probe = OrderLatencyProbe(ProbeContext(window_end=1.0))
+    record = TraceRecord(0.5, "order_committed",
+                         {"rank": 1, "batch_id": 3, "actor": "p2",
+                          "n_requests": 25})
+    results.append((
+        "probe consume (order-latency)",
+        _ops_per_second(lambda: probe.consume(record)),
+        "rec/s",
+    ))
     return results
 
 

@@ -1,0 +1,68 @@
+"""Pluggable measurement probes.
+
+The observation half of the harness, split out behind a registry
+(mirroring :mod:`repro.protocols` and :mod:`repro.harness.exec`): a
+:class:`~repro.harness.probes.base.Probe` declares the trace kinds it
+needs, consumes records incrementally as the simulator emits them, and
+finalizes to named scalar metrics (the per-point metric map of
+artifact schema v3) plus optional
+:class:`~repro.harness.probes.base.MetricSeries`.
+
+The paper's three measurements register on import:
+
+* ``order-latency`` — per-batch order latency (Figure 4);
+* ``throughput`` — committed requests/s per process (Figure 5);
+* ``failover`` — fail-over latency and BackLog bytes (Figure 6).
+
+Experiments derive their tracer keep-filter from the union of the
+selected probes' kinds, so a run retains nothing no probe wants.
+Select probes per sweep point (``SweepTask(probes=...)``), per
+scenario (``probes = [...]`` in a spec file), or from the CLI
+(``--probes``); ``python -m repro probes`` lists what is registered.
+"""
+
+from repro.harness.probes.base import (
+    MetricSeries,
+    Probe,
+    ProbeContext,
+    ProbeReport,
+    merged_values,
+)
+from repro.harness.probes.registry import (
+    all_probes,
+    create_all,
+    get,
+    kinds_union,
+    metric_direction,
+    names,
+    register,
+    unregister,
+    validate_names,
+)
+
+# Importing the module registers the paper's probes.
+from repro.harness.probes.paper import (
+    FailoverProbe,
+    OrderLatencyProbe,
+    ThroughputProbe,
+)
+
+__all__ = [
+    "FailoverProbe",
+    "MetricSeries",
+    "OrderLatencyProbe",
+    "Probe",
+    "ProbeContext",
+    "ProbeReport",
+    "ThroughputProbe",
+    "all_probes",
+    "create_all",
+    "get",
+    "kinds_union",
+    "merged_values",
+    "metric_direction",
+    "names",
+    "register",
+    "unregister",
+    "validate_names",
+]

@@ -97,6 +97,9 @@ class SweepTask:
     warmup_batches: int = 15
     calibration: str = "paper"
     scenario: object | None = None
+    #: Probe selection for the experiment (``None`` = the experiment's
+    #: paper defaults).  Scenario tasks select probes on their spec.
+    probes: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in (ORDER, FAILOVER, SCENARIO):
@@ -109,6 +112,17 @@ class SweepTask:
             raise ConfigError("scenario tasks need a ScenarioSpec")
         if self.calibration not in CALIBRATION_PROFILES:
             raise ConfigError(f"unknown calibration profile {self.calibration!r}")
+        if self.probes is not None:
+            if self.kind == SCENARIO:
+                raise ConfigError(
+                    "scenario tasks select probes on the ScenarioSpec "
+                    "(spec field 'probes'), not on the task"
+                )
+            from repro.harness import probes as probe_registry
+
+            object.__setattr__(
+                self, "probes", probe_registry.validate_names(self.probes)
+            )
 
     @property
     def x(self) -> float:
@@ -161,6 +175,12 @@ class SweepTask:
         if shape is not None:
             parts.append(shape)
         parts.append(self.calibration)
+        # A non-default probe selection measures different quantities,
+        # so it is a different point; the default (None) adds nothing,
+        # keeping every historical id — and the committed baselines —
+        # stable.
+        if self.probes is not None:
+            parts.append("p:" + "+".join(self.probes))
         return "/".join(parts)
 
 
@@ -168,11 +188,12 @@ class SweepTask:
 class PointResult:
     """The outcome of one executed task.
 
-    ``result`` is the experiment's own dataclass
-    (:class:`~repro.harness.experiments.OrderRunResult` or
-    :class:`~repro.harness.experiments.FailoverRunResult`) — fully
-    deterministic for a given task.  ``wall_time`` is the worker-side
-    execution time and is the only non-deterministic field.
+    ``result`` is the experiment's value object — a
+    :class:`~repro.harness.probes.ProbeReport` for order/failover
+    points, a :class:`~repro.harness.scenario.ScenarioResult` for
+    scenarios — fully deterministic for a given task.  ``wall_time``
+    is the worker-side execution time and is the only
+    non-deterministic field.
     """
 
     task: SweepTask
@@ -186,23 +207,16 @@ class PointResult:
         ``wall_time`` (events/second) varies between machines."""
         return int(getattr(self.result, "events_processed", 0))
 
+    @property
+    def probes(self) -> tuple[str, ...]:
+        """Names of the probes that emitted this point's metrics
+        (empty for results measured without probes)."""
+        return tuple(getattr(self.result, "probes", ()) or ())
+
     def metrics(self) -> dict[str, float]:
-        """The measured quantities, flattened for artifacts."""
-        r = self.result
-        if self.task.kind == SCENARIO:
-            return r.metrics()
-        if self.task.kind == ORDER:
-            return {
-                "latency_mean": r.latency_mean,
-                "latency_p50": r.latency_p50,
-                "latency_p95": r.latency_p95,
-                "throughput": r.throughput,
-                "batches_measured": float(r.batches_measured),
-            }
-        return {
-            "failover_latency": r.failover_latency,
-            "observed_backlog_bytes": r.observed_backlog_bytes,
-        }
+        """The measured quantities, flattened for artifacts — the
+        result object owns its metric map, whatever probes built it."""
+        return dict(self.result.metrics())
 
 
 def run_task(task: SweepTask) -> PointResult:
@@ -226,6 +240,7 @@ def run_task(task: SweepTask) -> PointResult:
             n_batches=task.n_batches,
             warmup_batches=task.warmup_batches,
             calibration=calibration,
+            probes=task.probes,
         )
     else:
         result = experiments.run_failover_experiment(
@@ -238,6 +253,7 @@ def run_task(task: SweepTask) -> PointResult:
                 0.250 if task.batching_interval is None else task.batching_interval
             ),
             calibration=calibration,
+            probes=task.probes,
         )
     return PointResult(task=task, result=result,
                        wall_time=time.perf_counter() - started)
@@ -289,6 +305,7 @@ def execute(
     executor: str | None = None,
     checkpoint: str | None = None,
     cost_hints: dict[str, float] | None = None,
+    executor_options: dict | None = None,
 ) -> list[PointResult]:
     """Run every task and return results in task order.
 
@@ -309,6 +326,10 @@ def execute(
       ``events`` telemetry from a prior artifact); parallel backends
       dispatch predicted-expensive tasks first so the slowest point
       never straggles at the tail.  Result order is unaffected.
+    * ``executor_options`` are extra constructor keywords for the
+      chosen backend (e.g. ``bind``/``port``/``spawn`` on
+      ``sockets`` — what the CLI's ``--bind``/``--spawn`` pass); they
+      must be options that backend accepts.
 
     ``progress`` is a per-completion callback; any falsy value
     (``None``, ``False``) disables reporting, so callers can write
@@ -324,7 +345,9 @@ def execute(
     tasks = list(tasks)
     if executor is None:
         executor = default_executor(jobs, len(tasks))
-    backend = exec_backends.create(executor, jobs=jobs, cost_hints=cost_hints)
+    backend = exec_backends.create(
+        executor, jobs=jobs, cost_hints=cost_hints, **(executor_options or {})
+    )
     if checkpoint is not None:
         return exec_backends.run_with_checkpoint(
             backend, tasks, checkpoint, progress=progress
@@ -344,6 +367,7 @@ def order_grid(
     n_batches: int = 100,
     warmup_batches: int = 15,
     calibration: str = "paper",
+    probes: tuple[str, ...] | None = None,
 ) -> list[SweepTask]:
     """The (scheme × protocol × interval) grid of Figures 4/5."""
     return [
@@ -357,6 +381,7 @@ def order_grid(
             n_batches=n_batches,
             warmup_batches=warmup_batches,
             calibration=calibration,
+            probes=probes,
         )
         for scheme in schemes
         for protocol in protocols
@@ -373,6 +398,7 @@ def f3_grid(
     n_batches: int = 60,
     warmup_batches: int = 15,
     calibration: str = "paper",
+    probes: tuple[str, ...] | None = None,
 ) -> list[SweepTask]:
     """The (f × scheme × protocol × interval) grid of the Section 5
     f = 3 comparison: :func:`order_grid` repeated per ``f``."""
@@ -383,6 +409,7 @@ def f3_grid(
             protocols, schemes, intervals,
             f=f, seed=seed, n_batches=n_batches,
             warmup_batches=warmup_batches, calibration=calibration,
+            probes=probes,
         )
     ]
 
@@ -395,6 +422,7 @@ def failover_grid(
     seed: int = 1,
     batching_interval: float = 0.250,
     calibration: str = "paper",
+    probes: tuple[str, ...] | None = None,
 ) -> list[SweepTask]:
     """The (scheme × protocol × backlog) grid of Figure 6."""
     return [
@@ -407,6 +435,7 @@ def failover_grid(
             batching_interval=batching_interval,
             backlog_batches=backlog,
             calibration=calibration,
+            probes=probes,
         )
         for scheme in schemes
         for protocol in protocols
@@ -435,8 +464,9 @@ def order_series(
     results: Iterable[PointResult], value: str = "latency_mean"
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
     """``{scheme: {protocol: [(interval, value), ...]}}`` — the shape
-    the figure-level sweeps return.  ``value`` names an
-    :class:`~repro.harness.experiments.OrderRunResult` field.
+    the figure-level sweeps return.  ``value`` names a metric from the
+    point's :class:`~repro.harness.probes.ProbeReport` (metric names
+    read as attributes).
 
     Schemes group by the *requested* name (CT reports ``"plain"``
     because it runs without crypto, but belongs to the panel it was

@@ -18,6 +18,9 @@ Spec files are JSON or TOML mirroring the dataclasses, e.g.::
     name = "surge-then-recover"
     protocol = "scr"
     duration = 4.0
+    # optional: extra measurement probes (metrics namespaced
+    # "<probe>.<metric>" in the result)
+    probes = ["order-latency"]
 
     [workload]
     rate = 150.0
@@ -43,6 +46,7 @@ import sys
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 
+import repro.harness.probes as probe_registry
 import repro.protocols as protocols
 from repro.errors import ConfigError
 from repro.harness.cluster import Cluster, build_cluster
@@ -52,6 +56,7 @@ from repro.harness.metrics import (
     latency_stats,
     throughput_per_process,
 )
+from repro.harness.probes import Probe, ProbeContext
 from repro.harness.runner import resolve_calibration
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
 from repro.sim.trace import Tracer
@@ -152,6 +157,11 @@ class ScenarioSpec:
     faults: tuple[FaultSpec, ...] = ()
     net: NetSpec = NetSpec()
     config: tuple[tuple[str, object], ...] = ()
+    #: Extra measurement probes (registered names) attached to the run;
+    #: their metrics join :meth:`ScenarioResult.metrics` namespaced as
+    #: ``<probe>.<metric>``.  The built-in scenario measurement always
+    #: runs.
+    probes: tuple[str, ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -164,6 +174,11 @@ class ScenarioSpec:
         # Normalise the override order so semantically identical specs
         # compare (and round-trip) equal however they were written.
         object.__setattr__(self, "config", tuple(sorted(self.config)))
+        # Unknown probe names fail here, at spec construction — long
+        # before a grid of them reaches a worker pool.
+        object.__setattr__(
+            self, "probes", probe_registry.validate_names(self.probes)
+        )
 
     def with_(self, **changes) -> "ScenarioSpec":
         """A copy with the given fields replaced (grid helper)."""
@@ -215,6 +230,11 @@ def spec_from_dict(data: dict) -> ScenarioSpec:
         if not isinstance(overrides, dict):
             raise ConfigError("scenario 'config' must be a table of overrides")
         data["config"] = tuple(sorted(overrides.items()))
+    selected = data.pop("probes", None)
+    if selected is not None:
+        if isinstance(selected, str) or not isinstance(selected, (list, tuple)):
+            raise ConfigError("scenario 'probes' must be an array of names")
+        data["probes"] = tuple(selected)
     return _build(ScenarioSpec, data, "scenario")
 
 
@@ -227,7 +247,10 @@ def spec_to_dict(spec: ScenarioSpec) -> dict:
         for fault in _asdicts(spec.faults)
     ]
     data["config"] = spec.config_overrides()
+    data["probes"] = list(spec.probes)
     # Drop defaults that only add noise to dumped specs.
+    if not spec.probes:
+        del data["probes"]
     if spec.workload.rate is None:
         del data["workload"]["rate"]
     if spec.workload.duration is None:
@@ -317,10 +340,15 @@ class ScenarioResult:
     #: deliberately excluded from :meth:`metrics` so artifacts' gated
     #: metric dictionaries stay byte-identical across harness changes.
     events_processed: int = 0
+    #: Probes the spec attached, and their finalized metrics keyed as
+    #: ``<probe>.<metric>`` (namespaced so a probe can never collide
+    #: with — or silently shadow — a built-in scenario metric).
+    probes: tuple[str, ...] = ()
+    probe_metrics: tuple[tuple[str, float], ...] = ()
 
     def metrics(self) -> dict[str, float]:
         """Flat numeric view (artifact/runner shape)."""
-        return {
+        out = {
             "requests_issued": float(self.requests_issued),
             "requests_committed": float(self.requests_committed),
             "batches_measured": float(self.batches_measured),
@@ -334,6 +362,8 @@ class ScenarioResult:
             "recoveries": float(self.recoveries),
             "safety_ok": 1.0 if self.safety_ok else 0.0,
         }
+        out.update(self.probe_metrics)
+        return out
 
 
 def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]:
@@ -353,9 +383,12 @@ def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]
         seed=spec.seed,
         n_clients=spec.n_clients,
     )
-    # Replace the tracer before start() so the slim filter covers
-    # everything the run emits.
-    cluster.sim.trace = Tracer(keep=lambda record: record.kind in _WANTED_KINDS)
+    # Replace the tracer before start() so the keep-filter covers
+    # everything the run emits; any kinds the spec's probes declare
+    # are retained on top of the scenario-measurement set.
+    cluster.sim.trace = Tracer(
+        keep_kinds=_WANTED_KINDS | probe_registry.kinds_union(spec.probes)
+    )
 
     w = spec.workload
     rate = (
@@ -397,15 +430,40 @@ def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]
     return cluster, workloads
 
 
+def _attach_probes(spec: ScenarioSpec, cluster: Cluster) -> tuple[Probe, ...]:
+    """Instantiate the spec's probes against a lenient scenario context
+    (no warm-up discard, no sample floor: a scenario without, say, a
+    fail-over episode reports zeros rather than failing the run)."""
+    context = ProbeContext(
+        protocol=spec.protocol,
+        scheme=spec.scheme,
+        f=spec.f,
+        seed=spec.seed,
+        batching_interval=spec.batching_interval,
+        window_start=0.0,
+        window_end=spec.duration,
+        label=f"scenario {spec.name!r}",
+    )
+    probes = probe_registry.create_all(spec.probes, context)
+    for probe in probes:
+        probe.attach(cluster.sim.trace)
+    return probes
+
+
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run a spec end-to-end and extract its metrics."""
     cluster, workloads = build_scenario(spec)
+    probes = _attach_probes(spec, cluster)
     cluster.start()
     cluster.run(until=spec.duration + spec.drain)
-    return _measure(spec, cluster, issued=sum(w.issued for w in workloads))
+    return _measure(spec, cluster, issued=sum(w.issued for w in workloads),
+                    probes=probes)
 
 
-def _measure(spec: ScenarioSpec, cluster: Cluster, issued: int) -> ScenarioResult:
+def _measure(
+    spec: ScenarioSpec, cluster: Cluster, issued: int,
+    probes: tuple[Probe, ...] = (),
+) -> ScenarioResult:
     trace = cluster.sim.trace
     samples = collect_latencies(trace)
     if samples:
@@ -448,6 +506,12 @@ def _measure(spec: ScenarioSpec, cluster: Cluster, issued: int) -> ScenarioResul
         recoveries=len(trace.of_kind("pair_recovered")),
         safety_ok=_prefixes_agree(cluster),
         events_processed=cluster.sim.events_processed,
+        probes=tuple(probe.name for probe in probes),
+        probe_metrics=tuple(
+            (f"{probe.name}.{metric}", float(value))
+            for probe in probes
+            for metric, value in probe.finalize().items()
+        ),
     )
 
 
@@ -581,6 +645,9 @@ def add_scenario_arguments(parser) -> None:
     )
     parser.add_argument("--seed", type=int, default=None,
                         help="override the spec's seed")
+    parser.add_argument("--probes", default=None, metavar="P1,P2",
+                        help="attach these measurement probes (overrides "
+                             "the spec's own selection; see `repro probes`)")
     parser.add_argument("--seeds", default=None,
                         help="comma-separated seeds: run a grid via the runner")
     parser.add_argument("--jobs", type=int, default=1,
@@ -594,6 +661,12 @@ def add_scenario_arguments(parser) -> None:
     parser.add_argument("--resume", default=None, metavar="JOURNAL",
                         help="checkpoint journal for --seeds grids: "
                              "completed seeds are skipped on re-run")
+    parser.add_argument("--bind", default=None, metavar="HOST:PORT",
+                        help="sockets executor: listen on this interface "
+                             "so workers can join from other hosts")
+    parser.add_argument("--spawn", type=int, default=None, metavar="N",
+                        help="sockets executor: local workers to spawn "
+                             "(0 = wait for external workers only)")
 
 
 def cmd_scenario(args) -> int:
@@ -615,12 +688,21 @@ def cmd_scenario(args) -> int:
     spec = resolve_spec(args.target)
     if args.seed is not None:
         spec = spec.with_(seed=args.seed)
+    if args.probes is not None:
+        from repro.harness.experiments import _parse_probes
+
+        spec = spec.with_(probes=_parse_probes(args.probes) or ())
     if args.dump:
         print(dump_spec(spec))
         return 0
 
     if args.seeds:
-        from repro.harness.runner import execute, print_progress
+        from repro.harness.experiments import _executor_options
+        from repro.harness.runner import (
+            default_executor,
+            execute,
+            print_progress,
+        )
 
         try:
             seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
@@ -631,10 +713,14 @@ def cmd_scenario(args) -> int:
         if not seeds:
             raise ConfigError("--seeds names no seeds")
         tasks = scenario_grid(spec, seeds=seeds)
-        results = [p.result for p in execute(tasks, jobs=args.jobs,
-                                             progress=print_progress,
-                                             executor=args.executor,
-                                             checkpoint=args.resume)]
+        executor = args.executor or default_executor(args.jobs, len(tasks))
+        results = [p.result for p in execute(
+            tasks, jobs=args.jobs,
+            progress=print_progress,
+            executor=executor,
+            checkpoint=args.resume,
+            executor_options=_executor_options(args, executor),
+        )]
     else:
         results = [run_scenario(spec)]
 

@@ -1,16 +1,17 @@
 """Structured trace capture.
 
 Protocol code emits trace records (message sends, commits, fail-signals,
-view changes...).  Tests assert on them; the experiment harness derives
-latency and throughput metrics from them; and two runs with equal seeds
-must produce byte-identical traces, which is itself a tested invariant.
+view changes...).  Tests assert on them; the measurement probes of
+:mod:`repro.harness.probes` consume them incrementally via
+:meth:`Tracer.subscribe`; and two runs with equal seeds must produce
+byte-identical traces, which is itself a tested invariant.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -34,26 +35,66 @@ class Tracer:
     ----------
     keep:
         Predicate deciding whether a record is retained.  Defaults to
-        keeping everything; experiments narrow this to the kinds they
-        measure so long runs stay memory-bounded.
+        keeping everything.
+    keep_kinds:
+        Retain only records whose ``kind`` is in this set — the fast
+        form of ``keep`` the experiment drivers derive from their
+        selected probes.  Unlike a predicate, it lets :meth:`emit`
+        skip building the record entirely when nothing (retention or
+        subscription) wants its kind, so unmeasured kinds cost one
+        dict lookup on the hot path.  Mutually exclusive with ``keep``.
     """
 
-    def __init__(self, keep: Callable[[TraceRecord], bool] | None = None) -> None:
+    def __init__(
+        self,
+        keep: Callable[[TraceRecord], bool] | None = None,
+        keep_kinds: Iterable[str] | None = None,
+    ) -> None:
+        if keep is not None and keep_kinds is not None:
+            raise ValueError("pass keep or keep_kinds, not both")
         self.records: list[TraceRecord] = []
         self._keep = keep
+        self._keep_kinds = frozenset(keep_kinds) if keep_kinds is not None else None
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._kind_subscribers: dict[str, list[Callable[[TraceRecord], None]]] = {}
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an event (subject to the ``keep`` filter)."""
-        record = TraceRecord(time, kind, fields)
+        if self._keep_kinds is not None:
+            retain = kind in self._keep_kinds
+            kind_subs = self._kind_subscribers.get(kind)
+            if not (retain or kind_subs or self._subscribers):
+                return  # nothing wants this kind: skip the record
+            record = TraceRecord(time, kind, fields)
+        else:
+            record = TraceRecord(time, kind, fields)
+            kind_subs = self._kind_subscribers.get(kind)
+            retain = self._keep is None or self._keep(record)
         for subscriber in self._subscribers:
             subscriber(record)
-        if self._keep is None or self._keep(record):
+        if kind_subs:
+            for subscriber in kind_subs:
+                subscriber(record)
+        if retain:
             self.records.append(record)
 
-    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every record, even filtered ones."""
-        self._subscribers.append(callback)
+    def subscribe(
+        self,
+        callback: Callable[[TraceRecord], None],
+        kinds: Iterable[str] | None = None,
+    ) -> None:
+        """Invoke ``callback`` for every record, even filtered ones.
+
+        With ``kinds``, the callback only sees records of those kinds —
+        dispatched through a per-kind table, so a subscription costs
+        nothing on records it never asked for.  Probes declare their
+        kinds and attach this way.
+        """
+        if kinds is None:
+            self._subscribers.append(callback)
+            return
+        for kind in kinds:
+            self._kind_subscribers.setdefault(kind, []).append(callback)
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All retained records with the given kind tag."""

@@ -1,0 +1,89 @@
+"""Multi-host placement plumbing: --bind/--spawn through the facade.
+
+The CLI's ``--bind HOST:PORT`` / ``--spawn N`` become ``bind``/
+``port``/``spawn`` constructor options on the sockets coordinator via
+``execute(executor_options=...)``.  These tests run the real
+coordinator on an explicit loopback port, including the
+external-workers-only mode (``spawn=0``) where the grid waits for a
+worker that joins "from elsewhere" — here, a thread running the
+worker loop against the announced port.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.harness.exec.sockets import SocketExecutor, worker_loop
+from repro.harness.runner import execute
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_executor_options_reach_the_backend(grid, serial_reference):
+    """execute(executor_options=...) constructs the named backend with
+    the CLI's placement options; results stay byte-identical."""
+    port = _free_port()
+    results = execute(
+        grid, jobs=2, executor="sockets",
+        executor_options={"bind": "127.0.0.1", "port": port, "spawn": 2},
+    )
+    assert [p.result for p in results] == [
+        p.result for p in serial_reference
+    ]
+
+
+def test_spawn_zero_waits_for_external_workers(grid, serial_reference, capsys):
+    """spawn=0: the coordinator announces its address and serves
+    whatever workers connect — the joining-from-another-host mode,
+    exercised with an in-process worker loop.
+
+    The coordinator runs in a daemon thread and is joined with a
+    timeout, so a wedged sweep fails the test instead of hanging the
+    suite; the worker retries its connect until the listener (which
+    only comes up inside ``run()``) is accepting.
+    """
+    port = _free_port()
+    backend = SocketExecutor(jobs=2, bind="127.0.0.1", port=port, spawn=0)
+    outcome = {}
+
+    def coordinate():
+        try:
+            outcome["results"] = backend.run(grid)
+        except BaseException as exc:  # surfaced by the main thread
+            outcome["error"] = exc
+
+    def join_with_retry():
+        for _ in range(100):
+            try:
+                worker_loop("127.0.0.1", port)
+                return
+            except OSError:
+                time.sleep(0.05)
+
+    coordinator = threading.Thread(target=coordinate, daemon=True)
+    worker = threading.Thread(target=join_with_retry, daemon=True)
+    coordinator.start()
+    worker.start()
+    coordinator.join(timeout=60.0)
+    assert not coordinator.is_alive(), "sweep never finished"
+    worker.join(timeout=5.0)
+    assert "error" not in outcome, outcome.get("error")
+    assert [p.result for p in outcome["results"]] == [
+        p.result for p in serial_reference
+    ]
+    err = capsys.readouterr().err
+    assert f"listening on 127.0.0.1:{port}" in err
+    assert "python -m repro worker" in err
+
+
+def test_max_attempts_validated():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        SocketExecutor(jobs=1, max_attempts=0)

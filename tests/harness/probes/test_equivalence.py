@@ -1,0 +1,137 @@
+"""Probes vs the retained post-hoc path: exact equivalence.
+
+The regression contract of the measurement redesign: for the same run,
+the streaming probes must produce **exactly** the numbers the
+:mod:`repro.harness.metrics` extractors compute from a keep-everything
+trace — not approximately, bit for bit, because the committed BENCH
+baselines are gated on byte-identical metrics.  The tests swap the
+experiment drivers' derived keep-filter for a full tracer (so the
+post-hoc oracle has every record) and compare both extractions of the
+*same* simulation.
+"""
+
+import pytest
+
+import repro.harness.experiments as experiments
+from repro.harness.experiments import (
+    run_failover_experiment,
+    run_order_experiment,
+)
+from repro.harness.metrics import (
+    backlog_bytes_observed,
+    collect_latencies,
+    failover_latency,
+    latency_stats,
+    throughput_per_process,
+)
+from repro.harness.probes import kinds_union
+from repro.sim.trace import Tracer
+
+#: Small but real order point (sub-second): enough batches for the
+#: warm-up/cap discipline to engage.
+ORDER_ARGS = dict(n_batches=10, warmup_batches=3)
+
+
+@pytest.fixture
+def full_trace(monkeypatch):
+    """Make the drivers run with a keep-everything tracer and hand the
+    test a reference to it (the post-hoc oracle's input)."""
+    captured = {}
+
+    def keep_everything(selected):
+        captured["trace"] = Tracer()
+        captured["selected"] = selected
+        return captured["trace"]
+
+    monkeypatch.setattr(experiments, "_probe_tracer", keep_everything)
+    return captured
+
+
+def test_order_probes_match_post_hoc_extraction(full_trace):
+    report = run_order_experiment("sc", "md5-rsa1024", 0.1, **ORDER_ARGS)
+    trace = full_trace["trace"]
+
+    samples = collect_latencies(trace)
+    skip = min(ORDER_ARGS["warmup_batches"], max(0, len(samples) - 5))
+    stats = latency_stats(samples, skip_first=skip, cap=ORDER_ARGS["n_batches"])
+    window_start = ORDER_ARGS["warmup_batches"] * 0.1
+    window_end = (ORDER_ARGS["warmup_batches"] + ORDER_ARGS["n_batches"] + 4) * 0.1
+    throughput = throughput_per_process(trace, window_start, window_end)
+
+    assert report.value("latency_mean") == stats.mean
+    assert report.value("latency_p50") == stats.p50
+    assert report.value("latency_p95") == stats.p95
+    assert report.value("batches_measured") == float(stats.count)
+    assert report.value("throughput") == throughput
+
+
+def test_failover_probe_matches_post_hoc_extraction(full_trace):
+    report = run_failover_experiment("sc", "md5-rsa1024", 2)
+    trace = full_trace["trace"]
+
+    episode_end = trace.of_kind("failover_complete")[0].time
+    assert report.value("failover_latency") == failover_latency(trace)
+    assert report.value("observed_backlog_bytes") == backlog_bytes_observed(
+        trace, before=episode_end
+    )
+
+
+def test_order_probes_match_post_hoc_across_protocols_and_backlogs(full_trace):
+    """The oracle holds across the sweep's other axes, not just one
+    convenient point."""
+    for protocol in ("ct", "bft"):
+        report = run_order_experiment(protocol, "md5-rsa1024", 0.1, **ORDER_ARGS)
+        trace = full_trace["trace"]
+        samples = collect_latencies(trace)
+        skip = min(ORDER_ARGS["warmup_batches"], max(0, len(samples) - 5))
+        stats = latency_stats(samples, skip_first=skip,
+                              cap=ORDER_ARGS["n_batches"])
+        assert report.value("latency_mean") == stats.mean
+        assert report.value("batches_measured") == float(stats.count)
+    for backlog in (1, 3):
+        report = run_failover_experiment("scr", "md5-rsa1024", backlog)
+        trace = full_trace["trace"]
+        assert report.value("failover_latency") == failover_latency(trace)
+
+
+def test_slim_and_full_runs_report_identical_metrics(full_trace):
+    """Metrics are tracer-independent end to end (the byte-identical
+    baseline guarantee): the same point measured against the full
+    tracer and against the derived keep-filter reports equal values,
+    and the full trace really carries kinds the filter would drop."""
+    full_report = run_order_experiment("sc", "md5-rsa1024", 0.1, **ORDER_ARGS)
+    assert not (
+        full_trace["trace"].kinds() <= kinds_union(full_trace["selected"])
+    )
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(experiments, "_probe_tracer",
+                   lambda selected: Tracer(keep_kinds=kinds_union(selected)))
+        slim_report = run_order_experiment(
+            "sc", "md5-rsa1024", 0.1, **ORDER_ARGS
+        )
+    assert slim_report == full_report
+
+
+def test_derived_keep_filter_bounds_retention(monkeypatch):
+    """A probed run retains only the union of the probes' kinds, and
+    strictly less than a keep-everything run of the same point."""
+    captured = {}
+    original = experiments._probe_tracer
+
+    def spy(selected):
+        captured["trace"] = original(selected)
+        captured["selected"] = selected
+        return captured["trace"]
+
+    monkeypatch.setattr(experiments, "_probe_tracer", spy)
+    run_order_experiment("sc", "md5-rsa1024", 0.1, **ORDER_ARGS)
+    slim = captured["trace"]
+    assert len(slim) > 0
+    assert slim.kinds() <= kinds_union(captured["selected"])
+
+    full = Tracer()
+    monkeypatch.setattr(experiments, "_probe_tracer", lambda selected: full)
+    run_order_experiment("sc", "md5-rsa1024", 0.1, **ORDER_ARGS)
+    # The full trace carries records the derived filter stops
+    # retaining on the sweep hot path.
+    assert len(full) > len(slim)

@@ -6,27 +6,40 @@ import pytest
 
 import repro.harness.experiments as experiments
 from repro.harness.artifact import SCHEMA_VERSION, load_artifact
-from repro.harness.experiments import FailoverRunResult, OrderRunResult, main
+from repro.harness.experiments import (
+    DEFAULT_FAILOVER_PROBES,
+    DEFAULT_ORDER_PROBES,
+    main,
+)
+from repro.harness.probes import ProbeReport
 
 
 @pytest.fixture
 def fast_runners(monkeypatch):
     def fake_order(protocol, scheme, interval, f=2, seed=1, n_batches=100,
-                   warmup_batches=15, calibration=None):
+                   warmup_batches=15, calibration=None, probes=None):
         base = {"ct": 0.010, "sc": 0.040, "bft": 0.050}[protocol]
-        return OrderRunResult(
-            protocol=protocol, scheme=scheme, f=f, batching_interval=interval,
-            latency_mean=base / interval * 0.05, latency_p50=base, latency_p95=base,
-            throughput=16 / interval, batches_measured=n_batches,
+        return ProbeReport(
+            protocol=protocol, scheme=scheme, f=f,
+            probes=DEFAULT_ORDER_PROBES if probes is None else tuple(probes),
+            values=(
+                ("latency_mean", base / interval * 0.05),
+                ("latency_p50", base),
+                ("latency_p95", base),
+                ("throughput", 16 / interval),
+                ("batches_measured", float(n_batches)),
+            ),
         )
 
     def fake_failover(protocol, scheme, backlog_batches, f=2, seed=1,
-                      batching_interval=0.25, calibration=None):
-        return FailoverRunResult(
+                      batching_interval=0.25, calibration=None, probes=None):
+        return ProbeReport(
             protocol=protocol, scheme=scheme, f=f,
-            target_backlog_batches=backlog_batches,
-            observed_backlog_bytes=1024.0 * (2 + backlog_batches),
-            failover_latency=0.1 + 0.03 * backlog_batches,
+            probes=DEFAULT_FAILOVER_PROBES if probes is None else tuple(probes),
+            values=(
+                ("failover_latency", 0.1 + 0.03 * backlog_batches),
+                ("observed_backlog_bytes", 1024.0 * (2 + backlog_batches)),
+            ),
         )
 
     monkeypatch.setattr(experiments, "run_order_experiment", fake_order)
@@ -187,3 +200,72 @@ def test_cli_resume_skips_finished_points(fast_runners, tmp_path, capsys):
 def test_cli_worker_rejects_bad_connect():
     with pytest.raises(SystemExit):
         main(["worker", "--connect", "not-an-address"])
+
+
+def test_cli_probes_lists_registry(capsys):
+    assert main(["probes"]) == 0
+    out = capsys.readouterr().out
+    assert "order-latency" in out
+    assert "throughput" in out
+    assert "failover" in out
+    assert "batch_formed" in out  # trace kinds column
+
+
+def test_cli_probes_describe_one(capsys):
+    assert main(["probes", "failover"]) == 0
+    out = capsys.readouterr().out
+    assert "failover_latency" in out
+    assert "lower is better" in out
+    assert "observed_backlog_bytes" in out
+    assert "informational" in out
+    assert main(["probes", "geiger"]) == 2
+    assert "unknown probe" in capsys.readouterr().err
+
+
+def test_cli_probes_flag_selects_subset(fast_runners, tmp_path, capsys):
+    """--probes reaches the task grid: the fakes see the selection and
+    artifacts record it per point and in params."""
+    assert main(["fig5", "--quick", "--probes", "throughput",
+                 "--json-dir", str(tmp_path)]) == 0
+    artifact = load_artifact(tmp_path / "BENCH_fig5.json")
+    assert artifact.params["probes"] == ["throughput"]
+    assert all(p["probes"] == ["throughput"] for p in artifact.points)
+    assert all("p:throughput" in p["id"] for p in artifact.points)
+    assert main(["fig4", "--quick", "--probes", "geiger"]) == 2
+
+
+def test_cli_probes_flag_must_cover_the_figure(fast_runners, capsys):
+    """A selection that cannot feed the figure's tables fails before
+    the sweep runs, not with a render-time crash after it."""
+    assert main(["fig4", "--quick", "--probes", "throughput"]) == 2
+    assert "latency_mean" in capsys.readouterr().err
+    assert main(["fig6", "--quick", "--probes", "order-latency"]) == 2
+    assert "failover_latency" in capsys.readouterr().err
+    assert main(["fig5", "--quick", "--probes",
+                 "throughput,throughput"]) == 2
+    assert "repeats" in capsys.readouterr().err
+
+
+def test_cli_scenario_probes_flag(capsys):
+    """scenario --probes overrides the spec's selection (visible in
+    --dump, which resolves without running anything)."""
+    assert main(["scenario", "bursty-load", "--probes", "throughput",
+                 "--dump"]) == 0
+    dumped = json.loads(capsys.readouterr().out)
+    assert dumped["probes"] == ["throughput"]
+    assert main(["scenario", "bursty-load", "--probes", "geiger",
+                 "--dump"]) == 2
+    assert "unknown probe" in capsys.readouterr().err
+
+
+def test_cli_bind_and_spawn_require_sockets(fast_runners, tmp_path, capsys):
+    """--bind/--spawn configure the sockets coordinator; with any
+    other backend they are a configuration error, not a silent no-op."""
+    assert main(["fig4", "--quick", "--bind", "0.0.0.0:5555"]) == 2
+    assert "sockets" in capsys.readouterr().err
+    assert main(["fig4", "--quick", "--executor", "serial",
+                 "--spawn", "0"]) == 2
+    assert "sockets" in capsys.readouterr().err
+    assert main(["fig4", "--quick", "--executor", "sockets",
+                 "--bind", "not-an-address"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err

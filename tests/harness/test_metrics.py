@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import MetricsError
 from repro.harness.metrics import (
     LatencyStats,
     backlog_bytes_observed,
@@ -49,7 +49,7 @@ def test_latency_stats_warmup_skip():
 
 
 def test_latency_stats_empty_raises():
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError):
         LatencyStats.from_values([])
 
 
@@ -59,6 +59,48 @@ def test_latency_stats_percentiles():
     assert stats.p95 == 100.0
     assert stats.maximum == 100.0
     assert stats.count == 5
+
+
+def test_latency_stats_single_sample():
+    """n = 1: every percentile clamps to the only sample."""
+    stats = LatencyStats.from_values([0.25])
+    assert stats.count == 1
+    assert stats.mean == stats.p50 == stats.p95 == stats.maximum == 0.25
+
+
+def test_latency_stats_two_samples():
+    """n = 2: ceil(0.5 * 2) = 1 -> p50 is the smaller sample; p95
+    lands on the larger."""
+    stats = LatencyStats.from_values([2.0, 1.0])
+    assert stats.p50 == 1.0
+    assert stats.p95 == 2.0
+    assert stats.mean == pytest.approx(1.5)
+    assert stats.maximum == 2.0
+
+
+def test_latency_stats_ties():
+    """Duplicate values: percentiles index into the sorted list, so
+    ties resolve to the tied value, never between values."""
+    stats = LatencyStats.from_values([3.0, 3.0, 3.0, 3.0])
+    assert stats.p50 == stats.p95 == stats.maximum == 3.0
+    assert stats.mean == 3.0
+    stats = LatencyStats.from_values([1.0, 2.0, 2.0, 2.0, 9.0])
+    assert stats.p50 == 2.0  # ceil(0.5 * 5) = 3rd of the ties
+
+
+def test_latency_stats_p95_index_clamps():
+    """The p95 index stays inside the list for every small n (the
+    min()/max() clamp in pct): never an IndexError, always a real
+    sample, and p95 >= p50."""
+    for n in range(1, 25):
+        values = [float(i) for i in range(n)]
+        stats = LatencyStats.from_values(values)
+        assert stats.p95 in values
+        assert stats.p50 <= stats.p95 <= stats.maximum
+    # ceil(0.95 * 20) - 1 = 18: exactly the 19th of 20 samples.
+    assert LatencyStats.from_values(
+        [float(i) for i in range(20)]
+    ).p95 == 18.0
 
 
 def test_throughput_counts_requests_per_process():
@@ -72,8 +114,10 @@ def test_throughput_counts_requests_per_process():
 
 def test_throughput_empty_window():
     assert throughput_per_process(make_trace(), 0.9, 1.0) == 0.0
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError):
         throughput_per_process(make_trace(), 1.0, 1.0)
+    with pytest.raises(MetricsError):
+        throughput_per_process(make_trace(), 2.0, 1.0)
 
 
 def test_failover_latency_pairs_signal_with_completion():
@@ -84,7 +128,7 @@ def test_failover_latency_pairs_signal_with_completion():
 
 
 def test_failover_latency_requires_episode():
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError):
         failover_latency(make_trace())
 
 
@@ -105,7 +149,7 @@ def test_linear_fit_recovers_line():
 
 
 def test_linear_fit_validates_input():
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError):
         linear_fit([1.0], [2.0])
-    with pytest.raises(ConfigError):
+    with pytest.raises(MetricsError):
         linear_fit([1.0, 1.0], [2.0, 3.0])

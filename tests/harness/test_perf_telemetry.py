@@ -32,6 +32,10 @@ BASELINE_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
 #: when the committed baselines moved to v2) — the fixture that keeps
 #: the v1-reader compatibility path exercised forever.
 V1_FIXTURE = Path(__file__).resolve().parent / "data" / "BENCH_fig4_v1.json"
+#: A frozen schema-v2 document (the PR 4 fig5 baseline, kept verbatim
+#: when the committed baselines moved to v3) — same role for the
+#: v2-reader path (telemetry present, no per-point probe names).
+V2_FIXTURE = Path(__file__).resolve().parent / "data" / "BENCH_fig5_v2.json"
 
 #: A fast sweep point (sub-second) for determinism and artifact tests.
 QUICK_TASK = SweepTask(
@@ -87,7 +91,7 @@ def quick_results():
 
 def test_v2_artifact_carries_wall_time_telemetry(quick_results, tmp_path):
     artifact = from_results("fig4", quick_results)
-    assert artifact.schema_version == SCHEMA_VERSION == 2
+    assert artifact.schema_version == SCHEMA_VERSION == 3
     assert artifact.events_total == quick_results[0].events_processed > 0
     assert artifact.events_per_second > 0
     point = artifact.points[0]
@@ -102,7 +106,7 @@ def test_v2_artifact_carries_wall_time_telemetry(quick_results, tmp_path):
 def test_v2_round_trips_through_baseline_comparator(quick_results, tmp_path):
     artifact = from_results("fig4", quick_results)
     loaded = load_artifact(write_artifact(artifact, tmp_path))
-    assert loaded.schema_version == 2
+    assert loaded.schema_version == 3
     assert loaded.events_total == artifact.events_total
     assert loaded.events_per_second == pytest.approx(artifact.events_per_second)
     report = compare(loaded, artifact)
@@ -126,19 +130,36 @@ def test_reader_accepts_v1_documents(quick_results):
     assert all("events" not in p for p in baseline.points)
 
 
-def test_committed_baselines_are_v2_with_telemetry():
-    """The committed quick-mode baselines regenerated to schema v2:
-    telemetry present, and the metrics identical to the v1 era (the
-    fixture is the old fig4 document verbatim)."""
+def test_reader_accepts_v2_documents():
+    """Schema-v2 artifacts (telemetry, no probe names) must stay
+    loadable; ``probes`` simply reads as absent per point."""
+    baseline = load_artifact(V2_FIXTURE)
+    assert json.loads(V2_FIXTURE.read_text())["schema_version"] == 2
+    assert baseline.schema_version == 2
+    assert baseline.events_total > 0
+    assert all("probes" not in p for p in baseline.points)
+
+
+def test_committed_baselines_are_v3_with_probes():
+    """The committed quick-mode baselines regenerated to schema v3:
+    telemetry present, probe names per point, and the metrics
+    identical to the v1/v2 eras (the fixtures are the old documents
+    verbatim)."""
     for figure in ("fig4", "fig5", "fig6", "f3"):
         baseline = load_artifact(BASELINE_DIR / f"BENCH_{figure}.json")
-        assert baseline.schema_version == 2
+        assert baseline.schema_version == 3
         assert baseline.events_total > 0
         assert all(p["events"] > 0 for p in baseline.points)
-    v2_fig4 = load_artifact(BASELINE_DIR / "BENCH_fig4.json")
+        assert all(p["probes"] for p in baseline.points)
+    v3_fig4 = load_artifact(BASELINE_DIR / "BENCH_fig4.json")
     v1_fig4 = load_artifact(V1_FIXTURE)
-    assert {p["id"]: p["metrics"] for p in v2_fig4.points} == {
+    assert {p["id"]: p["metrics"] for p in v3_fig4.points} == {
         p["id"]: p["metrics"] for p in v1_fig4.points
+    }
+    v3_fig5 = load_artifact(BASELINE_DIR / "BENCH_fig5.json")
+    v2_fig5 = load_artifact(V2_FIXTURE)
+    assert {p["id"]: p["metrics"] for p in v3_fig5.points} == {
+        p["id"]: p["metrics"] for p in v2_fig5.points
     }
 
 
@@ -153,6 +174,7 @@ def test_v1_vs_v2_comparison_gates_metrics_only(quick_results, tmp_path):
     for point in v1_doc["points"]:
         del point["events"]
         del point["events_per_second"]
+        del point["probes"]
     v1_path = tmp_path / "BENCH_fig4.json"
     v1_path.write_text(json.dumps(v1_doc))
     baseline = load_artifact(v1_path)
@@ -166,9 +188,19 @@ def test_v1_vs_v2_comparison_gates_metrics_only(quick_results, tmp_path):
 
 def test_unsupported_schema_version_rejected(quick_results):
     doc = from_results("fig4", quick_results).to_dict()
-    doc["schema_version"] = 3
+    doc["schema_version"] = 99
     with pytest.raises(ConfigError):
         validate(doc)
+
+
+def test_v3_requires_per_point_probes(quick_results):
+    doc = from_results("fig4", quick_results).to_dict()
+    del doc["points"][0]["probes"]
+    with pytest.raises(ConfigError, match="probes"):
+        validate(doc)
+    # The same document is fine as v2: probe names arrived with v3.
+    doc["schema_version"] = 2
+    validate(doc)
 
 
 # ----------------------------------------------------------------------

@@ -1,5 +1,7 @@
 """Unit tests for trace capture."""
 
+import pytest
+
 from repro.sim.trace import TraceRecord, Tracer
 
 
@@ -28,6 +30,52 @@ def test_subscribers_see_filtered_records_too():
     tracer.emit(1.0, "anything")
     assert len(tracer) == 0
     assert len(seen) == 1
+
+
+def test_keep_kinds_retains_only_named_kinds():
+    tracer = Tracer(keep_kinds={"commit"})
+    tracer.emit(1.0, "send")
+    tracer.emit(2.0, "commit")
+    tracer.emit(3.0, "view_change")
+    assert tracer.kinds() == {"commit"}
+    assert len(tracer) == 1
+
+
+def test_keep_and_keep_kinds_are_mutually_exclusive():
+    with pytest.raises(ValueError):
+        Tracer(keep=lambda r: True, keep_kinds={"commit"})
+
+
+def test_kind_scoped_subscription_sees_only_its_kinds():
+    seen = []
+    tracer = Tracer(keep_kinds=set())  # retain nothing
+    tracer.subscribe(seen.append, kinds=("commit", "send"))
+    tracer.emit(1.0, "commit", seq=1)
+    tracer.emit(2.0, "other")
+    tracer.emit(3.0, "send", dest="p2")
+    assert [r.kind for r in seen] == ["commit", "send"]
+    assert len(tracer) == 0  # subscription does not imply retention
+
+
+def test_wildcard_subscribers_see_kind_filtered_records():
+    """A no-kinds subscriber still sees every emit, even on a tracer
+    whose keep_kinds would otherwise skip building the record."""
+    seen = []
+    tracer = Tracer(keep_kinds={"commit"})
+    tracer.subscribe(seen.append)
+    tracer.emit(1.0, "send")
+    tracer.emit(2.0, "commit")
+    assert [r.kind for r in seen] == ["send", "commit"]
+    assert tracer.kinds() == {"commit"}
+
+
+def test_multiple_kind_subscribers_fire_in_subscription_order():
+    order = []
+    tracer = Tracer()
+    tracer.subscribe(lambda r: order.append("a"), kinds=("tick",))
+    tracer.subscribe(lambda r: order.append("b"), kinds=("tick",))
+    tracer.emit(1.0, "tick")
+    assert order == ["a", "b"]
 
 
 def test_jsonl_round_trip_stability():
