@@ -92,3 +92,61 @@ def test_reference_point_deterministic(benchmark):
     perf = run_reference_point()
     assert perf.events == first.events_processed > 0
     assert perf.events_per_second > 0
+
+
+def test_slot_batch_pop(benchmark):
+    """The batched drain: one ``pop_due_batch`` per slot vs a heap of
+    mixed-time events; output order must match the one-event oracle."""
+    from repro.sim.events import EventQueue
+
+    def build():
+        q = EventQueue()
+        for i in range(2_000):
+            q.push(float(i % 50), (lambda: None), ())
+        return q
+
+    def drain():
+        q = build()
+        out = []
+        order = []
+        while q.pop_due_batch(None, out) is not None:
+            order.extend(e.seq for e in out)
+            out.clear()
+        return order
+
+    order = benchmark(drain)
+    oracle = build()
+    expected = []
+    while (event := oracle.pop_due(None)) is not None:
+        expected.append(event.seq)
+    assert order == expected
+
+
+def test_link_delay_stream(benchmark):
+    """The chunk-prefetched per-link stream vs per-send model.sample:
+    bit-identical delays at a fraction of the call overhead."""
+    import random
+
+    from repro.net.delay import LanDelay, LinkDelayStream
+
+    model = LanDelay()
+
+    def streamed():
+        stream = LinkDelayStream(model, random.Random(3))
+        return [stream.sample(1024, i * 1e-3) for i in range(1_000)]
+
+    got = benchmark(streamed)
+    rng = random.Random(3)
+    assert got == [model.sample(1024, rng, i * 1e-3) for i in range(1_000)]
+
+
+def test_fast_crypto_signing_bytes(benchmark):
+    """Identity-token signing bytes: sign/verify agree on the token
+    stream, and forged bodies still mismatch, without byte encoding."""
+    from repro.crypto.costs import fast_crypto
+
+    forged = sample_hotpath_message()
+    with fast_crypto():
+        out = benchmark(lambda: signing_bytes(MESSAGE.body, MESSAGE.signatures))
+        assert out == signing_bytes(MESSAGE.body, MESSAGE.signatures)
+        assert out != signing_bytes(forged.body, forged.signatures)

@@ -82,7 +82,10 @@ class OrderLog:
         return slot
 
     def note_ack(
-        self, acker: str, signed_order: SignedMessage, signed_ack: SignedMessage | None = None
+        self,
+        acker: str,
+        signed_order: SignedMessage,
+        signed_ack: SignedMessage | None = None,
     ) -> Slot:
         """Record one process's ack (which carries the order).
 

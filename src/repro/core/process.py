@@ -55,7 +55,7 @@ class OrderProcessBase(Actor):
         self.cal = calibration
         self.cost: OpCosts = calibration.crypto.for_scheme(provider.scheme)
         self.cpu.overload_gamma = calibration.overload_gamma
-        self.fault: FaultPlan = FaultPlan(active_from=float("inf"))
+        self.fault = FaultPlan(active_from=float("inf"))
         # Requests known to this process (clients send to all nodes).
         self.pending: dict[tuple[str, int], ClientRequest] = {}
         self.request_arrival: dict[tuple[str, int], float] = {}
@@ -68,9 +68,27 @@ class OrderProcessBase(Actor):
     # Fault state
     # ------------------------------------------------------------------
     @property
+    def fault(self) -> FaultPlan:
+        """The process's fault plan.
+
+        A managed attribute so that assignment (the injector's
+        ``process.fault = plan``) refreshes ``_fault_benign``: the base
+        :class:`FaultPlan`'s hooks are all no-ops, so hot paths — every
+        send and every receive consult the plan — may skip it entirely
+        while the process is unfaulted, which is the common case for
+        all but one process of a run.
+        """
+        return self._fault
+
+    @fault.setter
+    def fault(self, plan: FaultPlan) -> None:
+        self._fault = plan
+        self._fault_benign = type(plan) is FaultPlan
+
+    @property
     def crashed(self) -> bool:
         """Whether the process's fault plan says it has crashed."""
-        return self.fault.is_crashed(self.sim.now)
+        return not self._fault_benign and self._fault.is_crashed(self.sim.now)
 
     @property
     def may_transmit(self) -> bool:
@@ -109,12 +127,15 @@ class OrderProcessBase(Actor):
     # ------------------------------------------------------------------
     # Transmission helpers
     # ------------------------------------------------------------------
+    def _censors_send(self, payload: Any, dest: str) -> bool:
+        """Whether the (non-benign) fault plan suppresses this send."""
+        now = self.sim.now
+        return self._fault.is_crashed(now) or self._fault.drops_message(now, payload, dest)
+
     def send_payload(self, dest: str, payload: Any) -> None:
         """Unicast with marshalling cost; silently dropped when the
         process is dumb/crashed or its fault plan censors the send."""
-        if not self.may_transmit:
-            return
-        if self.fault.drops_message(self.sim.now, payload, dest):
+        if self.dumb or (not self._fault_benign and self._censors_send(payload, dest)):
             return
         size = payload_size(payload)
         depart = self.cpu.submit(self.cal.marshal_cost(size) + self.cal.send_per_dest)
@@ -122,9 +143,7 @@ class OrderProcessBase(Actor):
 
     def send_pair(self, dest: str, payload: Any) -> None:
         """Unicast over the pair link (adds the RMI call overhead)."""
-        if not self.may_transmit:
-            return
-        if self.fault.drops_message(self.sim.now, payload, dest):
+        if self.dumb or (not self._fault_benign and self._censors_send(payload, dest)):
             return
         size = payload_size(payload)
         depart = self.cpu.submit(
@@ -136,22 +155,26 @@ class OrderProcessBase(Actor):
         """Interrupt-level unicast: departs immediately, bypassing the
         CPU queue.  Used for heartbeat-class keepalives whose entire
         purpose is to stay timely while the node crunches."""
-        if not self.may_transmit:
-            return
-        if self.fault.drops_message(self.sim.now, payload, dest):
+        if self.dumb or (not self._fault_benign and self._censors_send(payload, dest)):
             return
         self.network.send(self.name, dest, payload, payload_size(payload))
 
     def multicast_payload(self, dests: Iterable[str], payload: Any) -> None:
         """Marshal once, then send to every destination."""
-        if not self.may_transmit:
+        if self.dumb:
             return
-        targets = [
-            dest
-            for dest in dests
-            if dest != self.name
-            and not self.fault.drops_message(self.sim.now, payload, dest)
-        ]
+        name = self.name
+        if self._fault_benign:
+            targets = [dest for dest in dests if dest != name]
+        else:
+            if self.crashed:
+                return
+            now = self.sim.now
+            targets = [
+                dest
+                for dest in dests
+                if dest != name and not self._fault.drops_message(now, payload, dest)
+            ]
         if not targets:
             return
         size = payload_size(payload)
@@ -159,18 +182,33 @@ class OrderProcessBase(Actor):
             self.cal.marshal_cost(size) + self.cal.send_per_dest * len(targets)
         )
         for dest in targets:
-            self.network.send(self.name, dest, payload, size, depart_time=depart)
+            self.network.send(name, dest, payload, size, depart_time=depart)
 
     # ------------------------------------------------------------------
     # Reception
     # ------------------------------------------------------------------
     def receive_service(self, payload: Any, size_bytes: int) -> float:
         """Unmarshal + handling + type-specific verification cost."""
-        if self.crashed:
+        if not self._fault_benign and self._fault.is_crashed(self.sim.now):
             return 0.0
+        cal = self.cal
+        if type(payload) is ClientRequest:
+            # The dominant message class (clients multicast to every
+            # process): never urgent, never verified — every protocol's
+            # verification_service returns 0.0 for it, so the two
+            # dispatch hops are skipped.  Inlined cal.unmarshal_cost.
+            return (
+                cal.unmarshal_base
+                + cal.unmarshal_per_kb * (size_bytes / 1024.0)
+                + cal.handle_base
+            )
         if self.is_urgent(payload):
             return 0.0  # interrupt-level: never queues behind work
-        base = self.cal.unmarshal_cost(size_bytes) + self.cal.handle_base
+        base = (
+            cal.unmarshal_base
+            + cal.unmarshal_per_kb * (size_bytes / 1024.0)
+            + cal.handle_base
+        )
         return base + self.verification_service(payload, size_bytes)
 
     def is_urgent(self, payload: Any) -> bool:
@@ -183,9 +221,8 @@ class OrderProcessBase(Actor):
         return 0.0
 
     def on_message(self, sender: str, payload: Any) -> None:
-        if self.crashed:
-            return
-        self.handle(sender, payload)
+        if self._fault_benign or not self._fault.is_crashed(self.sim.now):
+            self.handle(sender, payload)
 
     def handle(self, sender: str, payload: Any) -> None:
         """Protocol logic; subclasses override."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.crypto import canon as _canon
 from repro.crypto.digests import digest
 from repro.crypto.encoding import canonical_bytes
 
@@ -23,18 +24,28 @@ class ClientRequest:
     payload: bytes = b""
     size_bytes: int = 64
 
-    @property
-    def key(self) -> tuple[str, int]:
-        """Identity of the request: ``(client, req_id)``."""
-        return (self.client, self.req_id)
+    def __post_init__(self) -> None:
+        # ``key`` — the request's identity ``(client, req_id)`` — is a
+        # plain precomputed attribute, deliberately unannotated so the
+        # dataclass machinery does not treat it as a field: it stays
+        # out of eq/repr/__init__ and the canonical encoding.  The
+        # request pool reads it on every delivery, and a property
+        # descriptor plus tuple allocation per read was measurable.
+        object.__setattr__(self, "key", (self.client, self.req_id))
 
     def digest_under(self, digest_name: str) -> bytes:
         """The request digest ``D(m)`` used inside order messages.
 
         Memoised per instance: a request is digested by the coordinator
         at batch formation and again wherever an order referencing it
-        is checked, always over the same frozen content.
+        is checked, always over the same frozen content.  In
+        fast-crypto mode the digest is the request's identity token —
+        every process holds the same request *object* (in-simulation
+        messages travel by reference), so token equality certifies
+        exactly what digest equality does.
         """
+        if _canon._fast_tokens:
+            return _canon.identity_token(self)
         cache = self.__dict__.get("_digest_cache_")
         if cache is None:
             cache = {}

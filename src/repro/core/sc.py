@@ -57,6 +57,7 @@ from repro.core.messages import (
     PairForward,
     PairProposal,
     PairStartProposal,
+    PairStatusUp,
     SignedMessage,
     Start,
     StartSupport,
@@ -87,6 +88,10 @@ from repro.sim.kernel import Simulator
 
 #: Client-name marker of the pseudo order entry that carries a Start.
 INSTALL_CLIENT = "__install__"
+
+#: Message types handled at interrupt level (see ``is_urgent``); built
+#: once — the check runs on every delivery.
+_URGENT_TYPES = (Heartbeat, PairStatusUp)
 
 
 def make_install_batch(
@@ -400,7 +405,9 @@ class ScProcess(OrderProcessBase):
         entries = tuple(
             OrderEntry(
                 seq=entry.seq,
-                req_digest=digest(self.config.scheme.digest, b"equivocate" + entry.req_digest),
+                req_digest=digest(
+                    self.config.scheme.digest, b"equivocate" + entry.req_digest
+                ),
                 client=entry.client,
                 req_id=entry.req_id,
             )
@@ -440,7 +447,12 @@ class ScProcess(OrderProcessBase):
         kb = total_bytes / 1024.0
         work = (
             n_verifies * self.cost.verify
-            + kb * (self.cal.unmarshal_per_kb + self.cal.backlog_compute_per_kb + self.cal.marshal_per_kb)
+            + kb
+            * (
+                self.cal.unmarshal_per_kb
+                + self.cal.backlog_compute_per_kb
+                + self.cal.marshal_per_kb
+            )
             + 2 * kb / self.cal.pair_bandwidth * 1024.0
         )
         # Safety factor: the counterpart may be draining queued work
@@ -947,7 +959,9 @@ class ScProcess(OrderProcessBase):
                 ok = False
                 break
             provided_views.append(as_view(backlog))
-        _, total_kb = self._deep_validate_backlogs(list(proposal.backlogs)) if ok else ([], 0.0)
+        _, total_kb = (
+            self._deep_validate_backlogs(list(proposal.backlogs)) if ok else ([], 0.0)
+        )
         own_views = [
             as_view(s.body) for s in self.backlogs.values()
         ]
@@ -1266,7 +1280,10 @@ class ScProcess(OrderProcessBase):
             if self.is_coordinating_shadow:
                 self.watch.note_request(forward.payload.key)
                 self._retry_deferred()
-            if self.is_coordinating_replica and forward.payload.key not in self.ordered_keys:
+            if (
+                self.is_coordinating_replica
+                and forward.payload.key not in self.ordered_keys
+            ):
                 if forward.payload.key not in {r.key for r in self.unordered}:
                     self.unordered.append(forward.payload)
 
@@ -1277,15 +1294,15 @@ class ScProcess(OrderProcessBase):
         self.set_timer(self.config.heartbeat_interval, self._heartbeat_tick)
 
     def is_urgent(self, payload: Any) -> bool:
-        from repro.core.messages import PairStatusUp
-
-        return isinstance(payload, (Heartbeat, PairStatusUp))
+        return isinstance(payload, _URGENT_TYPES)
 
     def _heartbeat_tick(self) -> None:
         self._heartbeat_armed = False
         if self.pair_down or self.crashed:
             return
-        self.send_urgent(self.counterpart, Heartbeat(self.name, nonce=int(self.sim.now * 1e6)))
+        self.send_urgent(
+            self.counterpart, Heartbeat(self.name, nonce=int(self.sim.now * 1e6))
+        )
         silent_for = self.sim.now - self.last_heard_from_counterpart
         if silent_for > self._silence_threshold():
             self._timing_suspicion(f"counterpart silent for {silent_for:.3f}s")

@@ -28,7 +28,11 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.install import BacklogView, compute_new_backlog, verify_start_against_backlogs
+from repro.core.install import (
+    BacklogView,
+    compute_new_backlog,
+    verify_start_against_backlogs,
+)
 from repro.core.messages import (
     NewView,
     OrderBatch,
@@ -101,7 +105,9 @@ class ScrProcess(ScProcess):
             return
         from repro.core.messages import Heartbeat  # local import to avoid cycle noise
 
-        self.send_urgent(self.counterpart, Heartbeat(self.name, nonce=int(self.sim.now * 1e6)))
+        self.send_urgent(
+            self.counterpart, Heartbeat(self.name, nonce=int(self.sim.now * 1e6))
+        )
         silent_for = self.sim.now - self.last_heard_from_counterpart
         threshold = self._silence_threshold()
         if self.status == STATUS_UP and not self.pair_down and silent_for > threshold:
@@ -142,12 +148,16 @@ class ScrProcess(ScProcess):
                 self._counterpart_status_up = True
                 if not self._status_up_sent:
                     self._status_up_sent = True
-                    self.send_urgent(self.counterpart, PairStatusUp(self.name, since=self.sim.now))
+                    self.send_urgent(
+                        self.counterpart, PairStatusUp(self.name, since=self.sim.now)
+                    )
                 self._maybe_recover()
             elif self.status == STATUS_UP:
                 # Already consider the pair operative: confirm, so a
                 # counterpart that re-failed asymmetrically can rejoin.
-                self.send_urgent(self.counterpart, PairStatusUp(self.name, since=self.sim.now))
+                self.send_urgent(
+                    self.counterpart, PairStatusUp(self.name, since=self.sim.now)
+                )
             return
         if isinstance(payload, SignedMessage) and isinstance(payload.body, ViewChange):
             if self.paired and sender == self.counterpart:
@@ -347,11 +357,15 @@ class ScrProcess(ScProcess):
         ok = True
         for signed in proposal.backlogs:
             vc = signed.body
-            if not isinstance(vc, ViewChange) or not self.check_signed(signed, (vc.sender,)):
+            if not isinstance(vc, ViewChange) or not self.check_signed(
+                signed, (vc.sender,)
+            ):
                 ok = False
                 break
             if vc.max_committed is not None:
-                n_verifies += len(vc.max_committed.order.signatures) + len(vc.max_committed.acks)
+                n_verifies += len(vc.max_committed.order.signatures) + len(
+                    vc.max_committed.acks
+                )
             n_verifies += sum(len(o.signatures) for o in vc.uncommitted)
             provided.append(
                 BacklogView(

@@ -84,7 +84,9 @@ class OrderProductionWatch:
         self._actor = actor
         self.deadline = deadline
         self._on_miss = on_miss
-        self._sweep_interval = sweep_interval if sweep_interval is not None else deadline / 2
+        self._sweep_interval = (
+            sweep_interval if sweep_interval is not None else deadline / 2
+        )
         self._arrivals: dict[Hashable, float] = {}
         self._last_progress = 0.0
         self._running = False

@@ -96,7 +96,9 @@ def sign(key: DsaKeyPair, data: bytes, digest_name: str) -> tuple[int, int]:
         return r, s
 
 
-def verify(public: DsaPublicKey, data: bytes, signature: tuple[int, int], digest_name: str) -> bool:
+def verify(
+    public: DsaPublicKey, data: bytes, signature: tuple[int, int], digest_name: str
+) -> bool:
     """Check a signature pair ``(r, s)``; False on any mismatch."""
     params = public.params
     r, s = signature

@@ -32,7 +32,9 @@ def _rotl(x: int, c: int) -> int:
 def _pad(length: int) -> bytes:
     """MD5 padding for a message of ``length`` bytes."""
     pad_len = (56 - (length + 1)) % 64
-    return b"\x80" + b"\x00" * pad_len + struct.pack("<Q", (8 * length) & 0xFFFFFFFFFFFFFFFF)
+    return (
+        b"\x80" + b"\x00" * pad_len + struct.pack("<Q", (8 * length) & 0xFFFFFFFFFFFFFFFF)
+    )
 
 
 def _compress(state: tuple[int, int, int, int], block: bytes) -> tuple[int, int, int, int]:

@@ -117,7 +117,9 @@ def generate_prime(bits: int, rng: random.Random) -> int:
             return candidate
 
 
-def generate_prime_in_range(lo: int, hi: int, rng: random.Random, max_tries: int = 200_000) -> int:
+def generate_prime_in_range(
+    lo: int, hi: int, rng: random.Random, max_tries: int = 200_000
+) -> int:
     """Random prime in ``[lo, hi)``."""
     if hi <= lo:
         raise CryptoError(f"empty range [{lo}, {hi})")

@@ -88,7 +88,9 @@ class SimulatedSignatureProvider(SignatureProvider):
     def sign(self, signer: str, data: bytes) -> Signature:
         if signer not in self._secrets:
             raise CryptoError(f"no key provisioned for {signer!r}")
-        return Signature(signer=signer, scheme=self.scheme.name, value=self._token(signer, data))
+        return Signature(
+            signer=signer, scheme=self.scheme.name, value=self._token(signer, data)
+        )
 
     def verify(self, signature: Signature, data: bytes, claimed_signer: str) -> bool:
         if signature.signer != claimed_signer:
@@ -188,7 +190,9 @@ def default_dsa_parameters(l_bits: int = 1024) -> DsaParameters:
         if l_bits == 1024 and _PRECOMPUTED_1024 is not None:
             params = _PRECOMPUTED_1024
         else:
-            params = dsa.generate_parameters(l_bits, min(160, l_bits // 2), random.Random(2006))
+            params = dsa.generate_parameters(
+                l_bits, min(160, l_bits // 2), random.Random(2006)
+            )
         _DSA_PARAM_CACHE[l_bits] = params
     return params
 

@@ -29,6 +29,7 @@ from repro.harness.probes.base import (
     merged_values,
 )
 from repro.harness.probes.registry import (
+    any_needs_digests,
     all_probes,
     create_all,
     get,
@@ -48,6 +49,7 @@ from repro.harness.probes.paper import (
 )
 
 __all__ = [
+    "any_needs_digests",
     "FailoverProbe",
     "MetricSeries",
     "OrderLatencyProbe",

@@ -91,6 +91,12 @@ class Probe(ABC):
     #: Gate direction per emitted metric: ``"lower"``/``"higher"``
     #: (metrics absent here are informational, never gated).
     directions: Mapping[str, str] = {}
+    #: True when the probe reads actual digest or signature *bytes*
+    #: (from trace records or message bodies) rather than just costs
+    #: and timings.  Selecting such a probe makes the harness fall back
+    #: from fast-crypto mode to real byte-level encoding for the run;
+    #: the paper's probes all measure timings, so the default is False.
+    needs_digests: bool = False
 
     def __init__(self, context: ProbeContext) -> None:
         self.context = context

@@ -4,6 +4,13 @@ A delay model answers: how long does a message of ``size_bytes`` spend
 in flight on this link?  Models receive the current virtual time so that
 fault injectors can create bounded delay surges (used to provoke the
 false suspicions that distinguish SCR from SC).
+
+For the hot send path the network resolves each ``(src, dst)`` link
+into a :class:`LinkDelayStream` once and samples through it thereafter:
+the stream prefetches uniform draws in chunks and evaluates the common
+LAN formula closed-form, producing bit-identical delays to the
+per-send ``model.sample(...)`` protocol at a fraction of the interpreter
+overhead.
 """
 
 from __future__ import annotations
@@ -11,6 +18,11 @@ from __future__ import annotations
 import random
 
 from repro.errors import ConfigError
+
+# Uniform draws prefetched per refill.  Chunks are built lazily on
+# first use, so links that never carry traffic draw nothing and the
+# stream's k-th draw is always the underlying generator's k-th draw.
+_CHUNK = 512
 
 
 class DelayModel:
@@ -107,3 +119,100 @@ class SurgeableDelay(DelayModel):
 
     def sample(self, size_bytes: int, rng: random.Random, now: float) -> float:
         return self.inner.sample(size_bytes, rng, now) * self.surge_factor_at(now)
+
+
+class DrawStream:
+    """Chunked, lazily-refilled uniform draws from one generator.
+
+    ``next()`` returns exactly the sequence ``rng.random()`` would —
+    the chunk is only a prefetch buffer, refilled on demand — so any
+    consumer switching from per-call draws to a stream keeps its draw
+    sequence bit-identical.
+    """
+
+    __slots__ = ("_random", "_buf", "_i")
+
+    def __init__(self, rng: random.Random) -> None:
+        self._random = rng.random
+        self._buf: list[float] = []
+        self._i = 0
+
+    def next(self) -> float:
+        """The next uniform [0, 1) draw."""
+        i = self._i
+        buf = self._buf
+        if i >= len(buf):
+            random_ = self._random
+            self._buf = buf = [random_() for _ in range(_CHUNK)]
+            i = 0
+        self._i = i + 1
+        return buf[i]
+
+
+class LinkDelayStream:
+    """A resolved ``(src, dst)`` link: one-call delay sampling.
+
+    Wraps a delay model and the link's dedicated RNG stream.  For the
+    dominant configurations — :class:`LanDelay`, optionally inside a
+    :class:`SurgeableDelay` — the delay is computed closed-form from a
+    chunk-prefetched draw buffer (one Python frame per message instead
+    of three); anything else falls back to the model's own ``sample``.
+    Both paths are bit-identical to calling ``model.sample(size, rng,
+    now)`` per send: the buffer preserves draw order, ``jitter * u``
+    equals ``rng.uniform(0.0, jitter)`` bit-for-bit, and the no-surge
+    fast exit skips only a ``* 1.0``.
+
+    Surge windows added to a wrapped :class:`SurgeableDelay` *after*
+    stream creation are honoured — the surge list is consulted live.
+    Replacing the model itself requires a new stream; the network
+    invalidates its cache in ``set_link``.
+    """
+
+    __slots__ = (
+        "model",
+        "_rng",
+        "_random",
+        "_buf",
+        "_i",
+        "_fast",
+        "_propagation",
+        "_bandwidth",
+        "_jitter",
+        "_surge",
+    )
+
+    def __init__(self, model: DelayModel, rng: random.Random) -> None:
+        self.model = model
+        self._rng = rng
+        self._random = rng.random
+        self._buf: list[float] = []
+        self._i = 0
+        self._surge: SurgeableDelay | None = None
+        inner = model
+        if type(model) is SurgeableDelay:
+            self._surge = model
+            inner = model.inner
+        # Exact type checks: a subclass may override sample(), so only
+        # the stock LanDelay formula is safe to inline.
+        self._fast = type(inner) is LanDelay
+        if self._fast:
+            self._propagation = inner.propagation
+            self._bandwidth = inner.bandwidth
+            self._jitter = inner.jitter
+
+    def sample(self, size_bytes: int, now: float) -> float:
+        """Delay for one message of ``size_bytes`` departing at ``now``."""
+        if self._fast:
+            i = self._i
+            buf = self._buf
+            if i >= len(buf):
+                random_ = self._random
+                self._buf = buf = [random_() for _ in range(_CHUNK)]
+                i = 0
+            self._i = i + 1
+            delay = self._propagation + size_bytes / self._bandwidth + self._jitter * buf[i]
+            surge = self._surge
+            if surge is not None and surge._surges:
+                delay *= surge.surge_factor_at(now)
+            return delay
+        return self.model.sample(size_bytes, self._rng, now)

@@ -20,11 +20,13 @@ behind the saturation regions of Figures 4 and 5.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable
 
 from repro.errors import ConfigError, SimulationError
-from repro.net.delay import DelayModel, LanDelay
+from repro.net.delay import DelayModel, LanDelay, LinkDelayStream
 from repro.net.message import Envelope
+from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.sim.process import Actor
 
@@ -58,10 +60,12 @@ class Network:
         self.messages_by_sender: dict[str, int] = {}
         self._hold_predicate: Callable[[Envelope], bool] | None = None
         self._held: list[Envelope] = []
-        # Per-(src, dst) jitter streams, resolved once: the registry
-        # lookup itself is cached, but the hot send path was paying an
-        # f-string + two method calls per message to reach it.
-        self._stream_cache: dict[tuple[str, str], Any] = {}
+        # Per-(src, dst) resolved links: (LinkDelayStream, dedicated)
+        # pairs built on first use.  Resolving once fuses the registry
+        # lookup, the link-override lookup and the delay-model dispatch
+        # that the hot send path used to repeat per message; set_link
+        # invalidates the affected entry.
+        self._stream_cache: dict[tuple[str, str], tuple[LinkDelayStream, bool]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -89,8 +93,15 @@ class Network:
         return list(self._actors)
 
     def set_link(self, src: str, dst: str, model: DelayModel) -> None:
-        """Override the delay model for the directed link ``src -> dst``."""
-        self._links[(src, dst)] = model
+        """Override the delay model for the directed link ``src -> dst``.
+
+        Meant for topology construction; replacing a link that already
+        carried traffic discards any draws its stream had prefetched
+        (the link's RNG stream continues from wherever it stands).
+        """
+        key = (src, dst)
+        self._links[key] = model
+        self._stream_cache.pop(key, None)
 
     def link(self, src: str, dst: str) -> DelayModel:
         """The delay model in force for ``src -> dst``."""
@@ -120,24 +131,22 @@ class Network:
             raise ConfigError(f"negative message size {size_bytes}")
         if dest not in self._actors:
             raise ConfigError(f"message to unknown actor {dest!r}")
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         depart = now if depart_time is None else depart_time
         if depart < now:
             raise SimulationError(
                 f"depart_time {depart} is before now {now}"
             )
         key = (sender, dest)
-        rng = self._stream_cache.get(key)
-        if rng is None:
-            rng = self.sim.rng.stream(f"net/{sender}->{dest}")
-            self._stream_cache[key] = rng
-        link = self._links.get(key)
-        dedicated = link is not None
-        if link is None:
-            link = self.default_link
-        delay = link.sample(size_bytes, rng, depart)
+        entry = self._stream_cache.get(key)
+        if entry is None:
+            entry = self._resolve_link(key)
+        stream, dedicated = entry
+        delay = stream.sample(size_bytes, depart)
+        msg_id = self._next_msg_id
         envelope = Envelope(
-            msg_id=self._next_msg_id,
+            msg_id=msg_id,
             sender=sender,
             dest=dest,
             payload=payload,
@@ -145,19 +154,33 @@ class Network:
             depart_time=depart,
             arrive_time=depart + delay,
         )
-        self._next_msg_id += 1
+        self._next_msg_id = msg_id + 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         if dedicated:
             self.pair_messages_sent += 1
-        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
-        for tap in self._taps:
-            tap(envelope)
-        if self._hold_predicate is not None and self._hold_predicate(envelope):
+        by_sender = self.messages_by_sender
+        by_sender[sender] = by_sender.get(sender, 0) + 1
+        taps = self._taps
+        if taps:
+            for tap in taps:
+                tap(envelope)
+        hold = self._hold_predicate
+        if hold is not None and hold(envelope):
             self._held.append(envelope)
         else:
-            self.sim.schedule_at(envelope.arrive_time, self._deliver, envelope)
+            sim.schedule_at(envelope.arrive_time, self._deliver, envelope)
         return envelope
+
+    def _resolve_link(self, key: tuple[str, str]) -> tuple[LinkDelayStream, bool]:
+        """Build and cache the resolved stream for one directed link."""
+        sender, dest = key
+        rng = self.sim.rng.stream(f"net/{sender}->{dest}")
+        link = self._links.get(key)
+        dedicated = link is not None
+        entry = (LinkDelayStream(link if dedicated else self.default_link, rng), dedicated)
+        self._stream_cache[key] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Experiment control: deferred delivery
@@ -199,12 +222,64 @@ class Network:
 
         Each copy is an independent unicast (the paper's implementation
         uses point-to-point TCP, not IP multicast), so each samples its
-        own delay and counts toward the message totals.
+        own delay and counts toward the message totals.  The loop body
+        is :meth:`send` with the per-call validation, clock reads and
+        sender bookkeeping hoisted out — a protocol round multicasts to
+        every process, so this is the second-hottest network entry
+        point after delivery.
         """
-        return [
-            self.send(sender, dest, payload, size_bytes, depart_time)
-            for dest in dests
-        ]
+        if size_bytes < 0:
+            raise ConfigError(f"negative message size {size_bytes}")
+        sim = self.sim
+        now = sim.now
+        depart = now if depart_time is None else depart_time
+        if depart < now:
+            raise SimulationError(f"depart_time {depart} is before now {now}")
+        actors = self._actors
+        cache = self._stream_cache
+        taps = self._taps
+        hold = self._hold_predicate
+        envelopes: list[Envelope] = []
+        n_sent = 0
+        n_dedicated = 0
+        msg_id = self._next_msg_id
+        for dest in dests:
+            if dest not in actors:
+                raise ConfigError(f"message to unknown actor {dest!r}")
+            entry = cache.get((sender, dest))
+            if entry is None:
+                entry = self._resolve_link((sender, dest))
+            stream, dedicated = entry
+            delay = stream.sample(size_bytes, depart)
+            envelope = Envelope(
+                msg_id=msg_id,
+                sender=sender,
+                dest=dest,
+                payload=payload,
+                size_bytes=size_bytes,
+                depart_time=depart,
+                arrive_time=depart + delay,
+            )
+            msg_id += 1
+            n_sent += 1
+            if dedicated:
+                n_dedicated += 1
+            if taps:
+                for tap in taps:
+                    tap(envelope)
+            if hold is not None and hold(envelope):
+                self._held.append(envelope)
+            else:
+                sim.schedule_at(envelope.arrive_time, self._deliver, envelope)
+            envelopes.append(envelope)
+        self._next_msg_id = msg_id
+        self.messages_sent += n_sent
+        self.bytes_sent += n_sent * size_bytes
+        self.pair_messages_sent += n_dedicated
+        if n_sent:
+            by_sender = self.messages_by_sender
+            by_sender[sender] = by_sender.get(sender, 0) + n_sent
+        return envelopes
 
     # ------------------------------------------------------------------
     # Delivery
@@ -218,10 +293,30 @@ class Network:
             # Zero-service messages model interrupt-level handling
             # (heartbeats, keepalives): they do not queue behind the
             # node's protocol work.
-            self._dispatch(actor, envelope)
+            actor.on_message(envelope.sender, envelope.payload)
             return
-        done = actor.cpu.submit(service)
-        self.sim.schedule_at(done, self._dispatch, actor, envelope)
-
-    def _dispatch(self, actor: Actor, envelope: Envelope) -> None:
-        actor.on_message(envelope.sender, envelope.payload)
+        # Inlined Cpu.submit + Simulator.schedule_at (bit-identical
+        # arithmetic; keep in lockstep with both): this pair runs once
+        # per queued delivery, the hottest compound call in a sweep.
+        # ``on_message`` is scheduled directly — it re-checks crash
+        # state at dispatch time itself.
+        cpu = actor.cpu
+        sim = self.sim
+        now = sim.now
+        busy = cpu.busy_until
+        if busy > now:
+            effective = service * (1.0 + cpu.overload_gamma * (busy - now))
+            completion = busy + effective
+        else:
+            effective = service
+            completion = now + service
+        cpu.busy_until = completion
+        cpu.total_busy += effective
+        cpu.tasks_run += 1
+        queue = sim._queue
+        seq = queue._seq
+        event = Event(
+            completion, seq, actor.on_message, (envelope.sender, envelope.payload), queue
+        )
+        queue._seq = seq + 1
+        heappush(queue._heap, (completion, seq, event))

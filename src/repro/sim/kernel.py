@@ -7,10 +7,17 @@ callbacks.  Determinism rests on two properties:
 * ties in firing time break by insertion order (see ``repro.sim.events``);
 * all randomness flows through :class:`~repro.sim.rng.RngRegistry`
   streams derived from the simulation seed.
+
+The run loop consumes the queue one *slot* at a time via
+:meth:`~repro.sim.events.EventQueue.pop_due_batch`: all events sharing
+the earliest due timestamp are drained in a single heap traversal and
+fired back-to-back, so the clock is written once per slot and the heap
+maintenance cost is amortized across same-time bursts.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -43,18 +50,17 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0, trace: Tracer | None = None) -> None:
-        self._now = 0.0
+        # ``now`` is a plain attribute, not a property: it is read on
+        # every schedule/send/submit in the hot path and a property
+        # descriptor costs a Python call per read.  Layers treat it as
+        # read-only; only run() writes it.
+        self.now = 0.0
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Tracer()
         self.events_processed = 0
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     @property
     def pending(self) -> int:
@@ -65,15 +71,23 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")
-        return self._queue.push(self._now + delay, callback, args)
+        return self._queue.push(self.now + delay, callback, args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time}: clock already at t={self._now}"
+                f"cannot schedule at t={time}: clock already at t={self.now}"
             )
-        return self._queue.push(time, callback, args)
+        # Inlined EventQueue.push: every network delivery and CPU
+        # completion passes through here, and the extra frame was
+        # measurable.  Keep in lockstep with push().
+        queue = self._queue
+        seq = queue._seq
+        event = Event(time, seq, callback, args, queue)
+        queue._seq = seq + 1
+        heappush(queue._heap, (time, seq, event))
+        return event
 
     def stop(self) -> None:
         """Halt the run loop after the current event completes."""
@@ -96,24 +110,81 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
-        # Hot loop: one fused heap traversal per event (pop_due), hot
-        # lookups hoisted into locals.  ``self._stopped`` must be
-        # re-read every iteration — callbacks flip it via stop().
-        pop_due = self._queue.pop_due
+        # Hot loop.  This inlines EventQueue.pop_due_batch — the same
+        # slot-draining discipline, minus a method call per slot; keep
+        # the two in lockstep.  The ``heap`` alias stays valid across
+        # callbacks because pushes mutate the list and _compact rebuilds
+        # it in place.  ``self._stopped`` must be re-read after every
+        # callback — callbacks flip it via stop().
+        queue = self._queue
+        heap = queue._heap
+        pop = heappop
+        batch: list[Event] = []
         try:
             while not self._stopped:
-                event = pop_due(until)
+                event = None
+                while heap:
+                    first = heap[0]
+                    candidate = first[2]
+                    if candidate.cancelled:
+                        pop(heap)
+                        queue._cancelled -= 1
+                        continue
+                    if until is not None and first[0] > until:
+                        break
+                    event = candidate
+                    slot = first[0]
+                    break
                 if event is None:
                     break
-                self._now = event.time
-                event.callback(*event.args)
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
-                    )
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+                pop(heap)
+                self.now = slot
+                if not (heap and heap[0][0] == slot):
+                    # Dominant case — a slot of one (jitter makes most
+                    # firing times unique): fire without batch staging.
+                    event.callback(*event.args)
+                    fired += 1
+                    if max_events is not None and fired >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; runaway simulation?"
+                        )
+                    continue
+                batch.append(event)
+                while heap and heap[0][0] == slot:
+                    event = pop(heap)[2]
+                    if event.cancelled:
+                        queue._cancelled -= 1
+                    else:
+                        batch.append(event)
+                i = 0
+                n = len(batch)
+                try:
+                    while i < n:
+                        event = batch[i]
+                        i += 1
+                        # A callback earlier in the slot may cancel a
+                        # later event of the same slot.
+                        if event.cancelled:
+                            continue
+                        event.callback(*event.args)
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; runaway simulation?"
+                            )
+                        if self._stopped:
+                            break
+                finally:
+                    # stop(), the max_events guard or a raising callback
+                    # can interrupt a half-consumed slot; unfired events
+                    # go back with their original keys so a later run()
+                    # resumes exactly where this one left off.
+                    if i < n:
+                        for event in batch[i:]:
+                            queue.requeue(event)
+                    batch.clear()
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
         finally:
             self.events_processed += fired
             self._running = False

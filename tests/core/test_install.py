@@ -27,7 +27,9 @@ def batch(first_seq, n=2, tag=b"\x00", rank=1):
 
 
 def signed_batch(first_seq, n=2, tag=b"\x00", rank=1):
-    return countersign(provider, "p1'", sign_message(provider, "p1", batch(first_seq, n, tag, rank)))
+    return countersign(
+        provider, "p1'", sign_message(provider, "p1", batch(first_seq, n, tag, rank))
+    )
 
 
 def proof_for(signed, quorum=5):

@@ -18,7 +18,9 @@ def provider():
 
 def batch(first_seq=1, n=2, rank=1, tag=b"\x00"):
     entries = tuple(
-        OrderEntry(seq=first_seq + i, req_digest=tag * 16, client="c1", req_id=first_seq + i)
+        OrderEntry(
+            seq=first_seq + i, req_digest=tag * 16, client="c1", req_id=first_seq + i
+        )
         for i in range(n)
     )
     return OrderBatch(rank=rank, batch_id=first_seq, entries=entries)

@@ -65,8 +65,12 @@ def test_smaller_interval_saturates_bft_first():
     steady, tight = 0.250, 0.040
     ratios = {}
     for protocol in ("sc", "bft"):
-        a = run_order_experiment(protocol, "md5-rsa1024", steady, n_batches=20, warmup_batches=5)
-        b = run_order_experiment(protocol, "md5-rsa1024", tight, n_batches=20, warmup_batches=5)
+        a = run_order_experiment(
+            protocol, "md5-rsa1024", steady, n_batches=20, warmup_batches=5
+        )
+        b = run_order_experiment(
+            protocol, "md5-rsa1024", tight, n_batches=20, warmup_batches=5
+        )
         ratios[protocol] = b.latency_mean / a.latency_mean
     assert ratios["bft"] > ratios["sc"]
 

@@ -19,11 +19,17 @@ def make_trace():
     t = Tracer()
     # batch 1: formed at 0.1, first commit 0.13 (p2), later 0.15 (p3)
     t.emit(0.10, "batch_formed", actor="p1", rank=1, batch_id=1, first_seq=1, n_requests=4)
-    t.emit(0.13, "order_committed", actor="p2", rank=1, batch_id=1, first_seq=1, n_requests=4)
-    t.emit(0.15, "order_committed", actor="p3", rank=1, batch_id=1, first_seq=1, n_requests=4)
+    t.emit(
+        0.13, "order_committed", actor="p2", rank=1, batch_id=1, first_seq=1, n_requests=4
+    )
+    t.emit(
+        0.15, "order_committed", actor="p3", rank=1, batch_id=1, first_seq=1, n_requests=4
+    )
     # batch 2: formed 0.2, committed 0.26
     t.emit(0.20, "batch_formed", actor="p1", rank=1, batch_id=2, first_seq=5, n_requests=4)
-    t.emit(0.26, "order_committed", actor="p2", rank=1, batch_id=2, first_seq=5, n_requests=4)
+    t.emit(
+        0.26, "order_committed", actor="p2", rank=1, batch_id=2, first_seq=5, n_requests=4
+    )
     return t
 
 

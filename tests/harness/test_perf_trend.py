@@ -1,0 +1,137 @@
+"""The perf-record schema and the sustained-regression trend gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.perf import (
+    PERF_SCHEMA,
+    load_history,
+    trend_verdict,
+    write_perf_record,
+)
+
+
+# ----------------------------------------------------------------------
+# trend_verdict: fail only on *sustained* regression
+# ----------------------------------------------------------------------
+def test_insufficient_history_passes():
+    ok, why = trend_verdict([100.0, 90.0, 80.0], window=3)
+    assert ok
+    assert "insufficient history" in why
+
+
+def test_single_dip_is_transient_and_passes():
+    ok, why = trend_verdict(
+        [100.0, 101.0, 99.0, 100.0, 60.0], tolerance_pct=15.0, window=3
+    )
+    assert ok
+    assert "transient" in why
+
+
+def test_two_of_three_below_still_passes():
+    ok, _ = trend_verdict(
+        [100.0, 101.0, 99.0, 60.0, 61.0, 100.0], tolerance_pct=15.0, window=3
+    )
+    assert ok
+
+
+def test_sustained_regression_fails():
+    ok, why = trend_verdict(
+        [100.0, 101.0, 99.0, 60.0, 61.0, 59.0], tolerance_pct=15.0, window=3
+    )
+    assert not ok
+    assert "sustained regression" in why
+
+
+def test_reference_is_median_of_points_before_window():
+    # History [100, 10, 100] has median 100: a one-off historical
+    # outlier must not drag the reference (a mean would).
+    ok, _ = trend_verdict(
+        [100.0, 10.0, 100.0, 80.0, 80.0, 80.0], tolerance_pct=15.0, window=3
+    )
+    assert not ok  # floor is 85; the tail sits below it
+    ok, _ = trend_verdict(
+        [100.0, 10.0, 100.0, 90.0, 90.0, 90.0], tolerance_pct=15.0, window=3
+    )
+    assert ok
+
+
+def test_tolerance_scales_the_floor():
+    points = [100.0, 100.0, 100.0, 88.0, 88.0, 88.0]
+    ok_tight, _ = trend_verdict(points, tolerance_pct=5.0, window=3)
+    ok_loose, _ = trend_verdict(points, tolerance_pct=15.0, window=3)
+    assert not ok_tight and ok_loose
+
+
+def test_window_one_gates_on_the_newest_point_alone():
+    ok, _ = trend_verdict([100.0, 100.0, 50.0], tolerance_pct=15.0, window=1)
+    assert not ok
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ConfigError):
+        trend_verdict([1.0, 2.0], window=0)
+
+
+# ----------------------------------------------------------------------
+# Record persistence and history loading
+# ----------------------------------------------------------------------
+def _record(eps: float, created: float, sha: str = "abc") -> dict:
+    return {
+        "schema": PERF_SCHEMA,
+        "created_unix": created,
+        "git_sha": sha,
+        "reference_point": "order/sc/...",
+        "repeats": 1,
+        "reference": {
+            "default": {
+                "wall_time_s": 30_000 / eps,
+                "events": 30_000,
+                "events_per_second": eps,
+            },
+            "fast_crypto": {
+                "wall_time_s": 20_000 / eps,
+                "events": 30_000,
+                "events_per_second": 1.5 * eps,
+            },
+        },
+    }
+
+
+def test_write_and_load_history_roundtrip(tmp_path):
+    for i, eps in enumerate([100.0, 120.0, 110.0]):
+        write_perf_record(_record(eps, created=i), tmp_path / f"r{i}.json")
+    records = load_history(tmp_path)
+    eps = [r["reference"]["default"]["events_per_second"] for r in records]
+    assert eps == [100.0, 120.0, 110.0]  # oldest first by created_unix
+
+
+def test_load_history_orders_by_time_not_filename(tmp_path):
+    write_perf_record(_record(1.0, created=5), tmp_path / "a.json")
+    write_perf_record(_record(2.0, created=1), tmp_path / "z.json")
+    records = load_history(tmp_path)
+    assert [r["created_unix"] for r in records] == [1, 5]
+
+
+def test_load_history_skips_foreign_and_corrupt_files(tmp_path):
+    write_perf_record(_record(100.0, created=1), tmp_path / "good.json")
+    (tmp_path / "other.json").write_text(json.dumps({"schema": "else/9"}))
+    (tmp_path / "broken.json").write_text("{nope")
+    (tmp_path / "notes.txt").write_text("ignored")
+    records = load_history(tmp_path)
+    assert len(records) == 1
+
+
+def test_load_history_missing_directory_raises(tmp_path):
+    with pytest.raises(ConfigError):
+        load_history(tmp_path / "absent")
+
+
+def test_write_perf_record_creates_parents(tmp_path):
+    path = write_perf_record(_record(1.0, created=0), tmp_path / "a/b/c.json")
+    assert path.exists()
+    assert json.loads(path.read_text())["schema"] == PERF_SCHEMA

@@ -4,7 +4,11 @@ import pytest
 
 from repro import ProtocolConfig
 from repro.failures.faults import WrongDigestFault
-from tests.conftest import assert_total_order, assert_total_order_among_correct, run_protocol
+from tests.conftest import (
+    assert_total_order,
+    assert_total_order_among_correct,
+    run_protocol,
+)
 
 
 @pytest.mark.parametrize("f", [1, 3])

@@ -8,7 +8,11 @@ from repro.failures.faults import CrashFault, DelaySurgeFault, WrongDigestFault
 from repro.harness.cluster import build_cluster
 from repro.harness.metrics import collect_latencies, failover_latency
 from repro.harness.workload import OpenLoopWorkload
-from tests.conftest import assert_total_order, assert_total_order_among_correct, run_protocol
+from tests.conftest import (
+    assert_total_order,
+    assert_total_order_among_correct,
+    run_protocol,
+)
 
 
 def test_scr_deploys_3f_plus_2_with_all_pairs():

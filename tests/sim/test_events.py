@@ -68,3 +68,88 @@ def test_active_property_flips_on_cancel():
     assert event.active
     event.cancel()
     assert not event.active
+
+
+def test_pop_due_batch_drains_one_slot_in_seq_order():
+    q = EventQueue()
+    fired = []
+    q.push(2.0, fired.append, ("late",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(1.0, fired.append, ("b",))
+    out = []
+    slot = q.pop_due_batch(None, out)
+    assert slot == 1.0
+    assert [e.args[0] for e in out] == ["a", "b"]
+    out.clear()
+    assert q.pop_due_batch(None, out) == 2.0
+    assert [e.args[0] for e in out] == ["late"]
+    out.clear()
+    assert q.pop_due_batch(None, out) is None
+    assert out == []
+
+
+def test_pop_due_batch_respects_until_and_skips_cancelled():
+    q = EventQueue()
+    fired = []
+    doomed = q.push(1.0, fired.append, ("cancelled",))
+    q.push(1.0, fired.append, ("live",))
+    q.push(5.0, fired.append, ("future",))
+    doomed.cancel()
+    out = []
+    assert q.pop_due_batch(2.0, out) == 1.0
+    assert [e.args[0] for e in out] == ["live"]
+    out.clear()
+    assert q.pop_due_batch(2.0, out) is None  # 5.0 is beyond until
+    assert len(q) == 1
+
+
+def test_requeue_preserves_time_and_seq_ordering():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, fired.append, ("a",))
+    q.push(1.0, fired.append, ("b",))
+    out = []
+    q.pop_due_batch(None, out)
+    # Put the second event back (the kernel does this when stop() cuts
+    # a batch short) and drain again: it must still come out, alone.
+    q.requeue(out[1])
+    out2 = []
+    assert q.pop_due_batch(None, out2) == 1.0
+    assert [e.args[0] for e in out2] == ["b"]
+
+
+def test_mass_cancellation_compacts_the_heap():
+    # The stdlib-sched-style compaction policy: once cancelled
+    # residents outnumber live events (above the minimum heap size),
+    # the heap is rebuilt, so a burst of cancellations cannot pin
+    # memory until their timestamps are reached.
+    q = EventQueue()
+    keep = [q.push(1_000.0 + i, (lambda: None), ()) for i in range(10)]
+    doomed = [q.push(2_000.0 + i, (lambda: None), ()) for i in range(500)]
+    for event in doomed:
+        event.cancel()
+    # len(queue) counts raw heap entries; compaction must have dropped
+    # the cancelled bulk rather than retaining all 510 entries.
+    assert len(q) < 2 * len(keep) + 64
+    for event in keep:
+        assert not event.cancelled
+    # The queue still drains exactly the live events, in order.
+    out = []
+    times = []
+    while (slot := q.pop_due_batch(None, out)) is not None:
+        times.append(slot)
+    assert times == [1_000.0 + i for i in range(10)]
+
+
+def test_compaction_keeps_heap_list_identity():
+    # kernel.run() aliases the heap list; compaction must rebuild in
+    # place so the alias stays valid.
+    q = EventQueue()
+    heap_before = q._heap
+    events = [q.push(float(i), (lambda: None), ()) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert q._heap is heap_before
+    # Invariant the policy maintains: cancelled residents never exceed
+    # live ones (so raw length is at most twice the live count).
+    assert len(q) <= 2 * 50
