@@ -3,14 +3,16 @@
 A thin wrapper over :mod:`repro.harness.experiments`'s CLI so the
 package itself is runnable; also the ``repro`` console-script target.
 
-The ``worker`` subcommand short-circuits before the experiments CLI
-is imported: sweep coordinators (:mod:`repro.harness.exec.sockets`)
-spawn one ``python -m repro worker`` process per job, and the fast
-path defers the experiments CLI (its argparse tree, figure rendering
-and their import chain) until the first task actually needs it.  The
-behaviour is identical either way — both this path and the
-``worker`` subcommand in :mod:`repro.harness.experiments` delegate to
-the same :func:`repro.harness.exec.sockets.main`.
+The ``worker``, ``serve`` and ``load`` subcommands short-circuit
+before the experiments CLI is imported: sweep coordinators
+(:mod:`repro.harness.exec.sockets`) spawn one ``python -m repro
+worker`` process per job, the live-cluster controller
+(:mod:`repro.live.cluster`) spawns one ``python -m repro serve
+--join`` process per replica, and the fast paths defer the
+experiments CLI (its argparse tree, figure rendering and their import
+chain) until a command actually needs it.  The behaviour is identical
+either way — these paths and the matching subcommands in
+:mod:`repro.harness.experiments` delegate to the same mains.
 """
 
 import sys
@@ -22,6 +24,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.exec.sockets import main as worker_main
 
         return worker_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.live.cluster import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "load":
+        from repro.live.client import main as load_main
+
+        return load_main(argv[1:])
     from repro.harness.experiments import main as _main
 
     return _main(argv)

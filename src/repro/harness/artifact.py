@@ -174,6 +174,41 @@ def from_results(
     )
 
 
+def from_points(
+    figure: str,
+    points: Iterable[dict],
+    params: dict | None = None,
+    wall_time_s: float = 0.0,
+    git_sha: str | None = None,
+) -> BenchArtifact:
+    """Package pre-shaped point dicts as a schema-current artifact.
+
+    The seam for producers that measure outside the sweep runner — the
+    live cluster (:mod:`repro.live.validate`) builds its points from
+    probe reports over real trace records, not :class:`PointResult`
+    objects.  Points must already carry the schema's required keys;
+    the document is validated before it is returned, so a malformed
+    producer fails here rather than at the comparator months later.
+    """
+    points = [dict(point) for point in points]
+    events_total = int(sum(point.get("events", 0) for point in points))
+    artifact = BenchArtifact(
+        figure=figure,
+        points=points,
+        params=dict(params or {}),
+        wall_time_s=wall_time_s,
+        git_sha=git_sha if git_sha is not None else current_git_sha(),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        env=env_fingerprint(),
+        events_total=events_total,
+        events_per_second=(
+            events_total / wall_time_s if wall_time_s > 0 else 0.0
+        ),
+    )
+    validate(artifact.to_dict())
+    return artifact
+
+
 def validate(data: dict) -> dict:
     """Check an artifact document against the schema; returns it."""
     if not isinstance(data, dict):

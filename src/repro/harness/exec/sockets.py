@@ -47,14 +47,17 @@ machines as you like (the grid waits for connections); ``jobs`` then
 only caps how many tasks are in flight at once per accepted worker
 (one each).
 
-.. warning:: The wire format is **unauthenticated pickle** — anyone
-   who can reach the port can execute code in the coordinator (and a
-   rogue coordinator can do the same to a worker).  The loopback
-   default is safe; bind a non-loopback interface only on a network
-   where every host is trusted (an isolated cluster VLAN, an SSH
-   tunnel, a container network).  An authenticated handshake à la
-   :mod:`multiprocessing.connection` is the ROADMAP's multi-host
-   placement work.
+.. warning:: The payload format is **pickle** — anyone who completes a
+   connection can execute code in the coordinator (and a rogue
+   coordinator can do the same to a worker).  The loopback default
+   needs no protection; binding a non-loopback interface *requires* a
+   pre-shared key (``auth_key=`` / ``--auth-key`` / the
+   ``REPRO_AUTH_KEY`` environment variable), which the coordinator
+   verifies with an HMAC challenge-response handshake à la
+   :mod:`multiprocessing.connection` before any frame is unpickled
+   (:mod:`repro.net.framing`).  The key authenticates peers; it does
+   not encrypt traffic — still keep the port on a trusted network or
+   an SSH tunnel.
 
 Test hook: setting ``REPRO_EXEC_CRASH=<substring>:<times>`` in a
 worker's environment makes it ``os._exit(17)`` when handed a task
@@ -67,9 +70,8 @@ from __future__ import annotations
 
 import argparse
 import os
-import pickle
+import signal
 import socket
-import struct
 import subprocess
 import sys
 import threading
@@ -81,49 +83,20 @@ from repro.errors import ConfigError, SweepError
 from repro.harness.exec.base import Executor, ProgressCallback, register
 from repro.harness.exec.schedule import dispatch_order
 from repro.harness.runner import PointResult, SweepTask, run_task
+from repro.net import framing
+from repro.net.framing import recv_msg, send_msg
 
 #: Attempts per task (1 first run + 2 retries) before the sweep fails.
 DEFAULT_MAX_ATTEMPTS = 3
 #: Exit status of the ``REPRO_EXEC_CRASH`` test hook.
 _CRASH_EXIT = 17
 
-_LEN = struct.Struct(">I")
-
-
-class WorkerLost(ConnectionError):
-    """The peer vanished mid-conversation (EOF, reset, or timeout)."""
-
-
-# ----------------------------------------------------------------------
-# Framing
-# ----------------------------------------------------------------------
-def send_msg(sock: socket.socket, obj: object) -> None:
-    """Write one length-prefixed pickle frame."""
-    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LEN.pack(len(data)) + data)
-
-
-def recv_msg(sock: socket.socket) -> object:
-    """Read one frame; :class:`WorkerLost` on EOF or timeout."""
-    header = _recv_exact(sock, _LEN.size)
-    (length,) = _LEN.unpack(header)
-    return pickle.loads(_recv_exact(sock, length))
-
-
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    while n:
-        try:
-            chunk = sock.recv(n)
-        except (socket.timeout, TimeoutError) as exc:
-            raise WorkerLost(f"timed out awaiting peer: {exc}") from None
-        except OSError as exc:
-            raise WorkerLost(f"connection failed: {exc}") from None
-        if not chunk:
-            raise WorkerLost("peer closed the connection")
-        chunks.append(chunk)
-        n -= len(chunk)
-    return b"".join(chunks)
+# The framing lived here before it was shared with the live transport
+# (:mod:`repro.net.framing`); these aliases keep the old import paths
+# working.
+_LEN = framing.LEN
+_recv_exact = framing.recv_exact
+WorkerLost = framing.PeerLost
 
 
 # ----------------------------------------------------------------------
@@ -139,9 +112,15 @@ def _maybe_crash(task: SweepTask, attempt: int) -> None:
         os._exit(_CRASH_EXIT)
 
 
-def worker_loop(host: str, port: int) -> int:
+def worker_loop(host: str, port: int, auth_key: bytes | None = None) -> int:
     """Connect to a coordinator and run tasks until told to stop."""
     with socket.create_connection((host, port)) as sock:
+        if auth_key is not None:
+            try:
+                framing.answer_challenge(sock, auth_key)
+            except framing.AuthenticationError as exc:
+                print(f"worker: {exc}", file=sys.stderr)
+                return 2
         send_msg(sock, ("hello", os.getpid()))
         while True:
             try:
@@ -175,11 +154,16 @@ def main(argv: list[str] | None = None) -> int:
         help="coordinator address (printed by the coordinator, or the "
              "host you started `SocketExecutor(bind=..., port=...)` on)",
     )
+    parser.add_argument(
+        "--auth-key", default=None,
+        help=f"pre-shared handshake key (or ${framing.AUTH_KEY_ENV}); "
+             "must match the coordinator's",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
         parser.error(f"--connect wants HOST:PORT, got {args.connect!r}")
-    return worker_loop(host, int(port))
+    return worker_loop(host, int(port), framing.resolve_auth_key(args.auth_key))
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +186,7 @@ class SocketExecutor(Executor):
         task_timeout: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         worker_env: dict[str, str] | None = None,
+        auth_key: str | bytes | None = None,
     ):
         super().__init__(jobs=jobs, cost_hints=cost_hints)
         self.bind = bind
@@ -214,6 +199,10 @@ class SocketExecutor(Executor):
             raise ConfigError("sockets executor needs max_attempts >= 1")
         self.max_attempts = max_attempts
         self.worker_env = worker_env
+        #: Pre-shared handshake key (``REPRO_AUTH_KEY`` when unset);
+        #: mandatory for non-loopback binds, enforced at :meth:`run`.
+        self.auth_key = framing.resolve_auth_key(auth_key)
+        framing.require_auth_for_bind(self.bind, self.auth_key)
 
     # -- worker process management -------------------------------------
     def _spawn_worker(self, port: int) -> subprocess.Popen:
@@ -222,6 +211,8 @@ class SocketExecutor(Executor):
         # must resolve `repro` exactly as the parent does, installed
         # or straight from a source tree.
         env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        if self.auth_key is not None:
+            env[framing.AUTH_KEY_ENV] = self.auth_key.decode("utf-8")
         if self.worker_env:
             env.update(self.worker_env)
         return subprocess.Popen(
@@ -259,6 +250,19 @@ class SocketExecutor(Executor):
         listener.listen()
         listener.settimeout(0.2)
         self._bound_port = port = listener.getsockname()[1]
+        # A SIGINT/SIGTERM turns into a clean abort: the wait loop
+        # wakes, the finally block reaps every worker subprocess, and
+        # the caller gets a SweepError instead of a traceback plus a
+        # fleet of orphans.  Only the main thread may install handlers.
+        old_handlers: dict[int, object] = {}
+        if threading.current_thread() is threading.main_thread():
+            def _interrupted(signo, frame):
+                self._abort(SweepError(
+                    f"sweep interrupted by {signal.Signals(signo).name}"
+                ))
+
+            for signo in (signal.SIGINT, signal.SIGTERM):
+                old_handlers[signo] = signal.signal(signo, _interrupted)
         if self.spawn == 0:
             # External-worker mode (CLI --bind/--spawn 0): the grid
             # waits for joins, so tell the operator where to point
@@ -304,6 +308,9 @@ class SocketExecutor(Executor):
                     proc.wait(timeout=2.0)
                 except subprocess.TimeoutExpired:
                     proc.kill()
+                    proc.wait(timeout=2.0)
+            for signo, handler in old_handlers.items():
+                signal.signal(signo, handler)
         if self._fatal is not None:
             raise self._fatal
         return [self._results[i] for i in range(len(tasks))]
@@ -345,7 +352,13 @@ class SocketExecutor(Executor):
         try:
             try:
                 conn.settimeout(self.task_timeout)
+                if self.auth_key is not None:
+                    framing.deliver_challenge(conn, self.auth_key)
                 hello = recv_msg(conn)
+            except framing.AuthenticationError:
+                # A peer with the wrong key is not one of our workers:
+                # drop it without touching the fleet accounting.
+                return
             except (WorkerLost, OSError):
                 # Vanished before the handshake: nothing in flight to
                 # reschedule, but keep the fleet at strength.

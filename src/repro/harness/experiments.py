@@ -488,10 +488,13 @@ def _executor_options(args, executor: str) -> dict:
         if spawn < 0:
             raise ConfigError("--spawn must be >= 0")
         options["spawn"] = spawn
+    auth_key = getattr(args, "auth_key", None)
+    if auth_key is not None:
+        options["auth_key"] = auth_key
     if options and executor != "sockets":
         raise ConfigError(
-            "--bind/--spawn configure the sockets coordinator; pass "
-            "--executor sockets"
+            "--bind/--spawn/--auth-key configure the sockets coordinator; "
+            "pass --executor sockets"
         )
     return options
 
@@ -688,6 +691,15 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.live:
+        from repro.live.validate import compare_live
+
+        return compare_live(args.current, args.baseline)
+    if args.baseline is None:
+        raise ConfigError(
+            "compare needs a baseline artifact (only --live may omit it, "
+            "by simulating the counterpart on the fly)"
+        )
     from repro.harness.baseline import main as baseline_main
 
     return baseline_main(
@@ -775,6 +787,10 @@ def _add_sweep_options(parser, json_dir_default=None) -> None:
     parser.add_argument("--spawn", type=int, default=None, metavar="N",
                         help="sockets executor: local workers to spawn "
                              "(0 = wait for external workers only)")
+    parser.add_argument("--auth-key", default=None,
+                        help="sockets executor: pre-shared handshake key "
+                             "(or $REPRO_AUTH_KEY); required with a "
+                             "non-loopback --bind")
     parser.add_argument("--json-dir", default=json_dir_default,
                         help="write BENCH_<figure>.json artifacts here")
 
@@ -811,10 +827,15 @@ def main(argv: list[str] | None = None) -> int:
         "compare", help="diff a BENCH_*.json artifact against a baseline"
     )
     compare_parser.add_argument("current")
-    compare_parser.add_argument("baseline")
+    compare_parser.add_argument("baseline", nargs="?", default=None)
     compare_parser.add_argument("--tolerance", type=float,
                                 default=DEFAULT_TOLERANCE_PCT,
                                 help="allowed worsening, percent")
+    compare_parser.add_argument("--live", action="store_true",
+                                help="current is a BENCH_live_*.json from "
+                                     "`repro serve`: render live-vs-simulated "
+                                     "curves (baseline optional — omitted, the "
+                                     "simulated counterpart runs on the fly)")
 
     from repro.harness.scenario import add_scenario_arguments
 
@@ -842,6 +863,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     worker_parser.add_argument("--connect", required=True, metavar="HOST:PORT",
                                help="coordinator address")
+    worker_parser.add_argument("--auth-key", default=None,
+                               help="pre-shared handshake key (or "
+                                    "$REPRO_AUTH_KEY)")
+
+    from repro.live.client import add_load_arguments
+    from repro.live.cluster import add_serve_arguments
+
+    serve_parser = sub.add_parser(
+        "serve", help="run (or join) a live replica cluster over TCP/asyncio"
+    )
+    add_serve_arguments(serve_parser)
+
+    load_parser = sub.add_parser(
+        "load", help="drive a live cluster with an open-loop request stream"
+    )
+    add_load_arguments(load_parser)
 
     from repro.harness.perf import add_perf_arguments
 
@@ -871,7 +908,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "worker":
             from repro.harness.exec.sockets import main as worker_main
 
-            return worker_main(["--connect", args.connect])
+            worker_argv = ["--connect", args.connect]
+            if args.auth_key:
+                worker_argv += ["--auth-key", args.auth_key]
+            return worker_main(worker_argv)
+        if args.command == "serve":
+            from repro.live.cluster import cmd_serve
+
+            return cmd_serve(args)
+        if args.command == "load":
+            from repro.live.client import cmd_load
+
+            return cmd_load(args)
         return _cmd_figure(args.command, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -28,6 +28,11 @@ from repro.harness.probes.base import (
     ProbeReport,
     merged_values,
 )
+from repro.harness.probes.feed import (
+    as_records,
+    merge_node_records,
+    replay_records,
+)
 from repro.harness.probes.registry import (
     any_needs_digests,
     all_probes,
@@ -58,7 +63,10 @@ __all__ = [
     "ProbeReport",
     "ThroughputProbe",
     "all_probes",
+    "as_records",
     "create_all",
+    "merge_node_records",
+    "replay_records",
     "get",
     "kinds_union",
     "merged_values",

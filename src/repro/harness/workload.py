@@ -10,8 +10,41 @@ the cluster's clients.
 
 from __future__ import annotations
 
+import random
+from typing import Iterator
+
 from repro.errors import ConfigError
 from repro.harness.cluster import Cluster
+
+
+def arrival_times(
+    rate: float,
+    duration: float,
+    spacing: str = "poisson",
+    rng: random.Random | None = None,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Yield the absolute arrival instants of one open-loop stream.
+
+    The single source of request-arrival schedules: the simulated
+    :class:`OpenLoopWorkload` schedules these on the kernel, the live
+    ``repro load`` driver sleeps until each on a wall clock — same
+    spacing law, so live and simulated runs see statistically identical
+    offered load (identical, for a shared seeded ``rng``).
+    """
+    if rate <= 0 or duration <= 0:
+        raise ConfigError("rate and duration must be positive")
+    if spacing not in ("poisson", "uniform"):
+        raise ConfigError(f"unknown spacing {spacing!r}")
+    if spacing == "poisson" and rng is None:
+        raise ConfigError("poisson spacing needs an rng")
+    t = start
+    mean_gap = 1.0 / rate
+    while True:
+        t += rng.expovariate(rate) if spacing == "poisson" else mean_gap
+        if t - start >= duration:
+            return
+        yield t
 
 
 def saturating_rate(batch_size_bytes: int, request_bytes: int, batching_interval: float,
@@ -61,19 +94,11 @@ class OpenLoopWorkload:
         sim = self.cluster.sim
         rng = sim.rng.stream(self.stream)
         clients = self.cluster.clients
-        t = self.start
-        i = 0
-        mean_gap = 1.0 / self.rate
-        while True:
-            if self.spacing == "poisson":
-                t += rng.expovariate(self.rate)
-            else:
-                t += mean_gap
-            if t - self.start >= self.duration:
-                break
-            client = clients[i % len(clients)]
-            sim.schedule_at(t, self._issue, client)
-            i += 1
+        times = arrival_times(
+            self.rate, self.duration, self.spacing, rng, self.start
+        )
+        for i, t in enumerate(times):
+            sim.schedule_at(t, self._issue, clients[i % len(clients)])
 
     def _issue(self, client) -> None:
         client.issue()

@@ -1,0 +1,14 @@
+"""The live execution plane: real replicas over TCP/asyncio.
+
+A second backend for the protocol plugins, next to the discrete-event
+kernel: :mod:`repro.live.node` hosts one order process per OS process
+on an asyncio loop with a wall clock, :mod:`repro.live.transport`
+replaces the simulated network with length-prefixed pickle frames over
+TCP (shared codec: :mod:`repro.net.framing`), :mod:`repro.live.cluster`
+is the ``python -m repro serve`` controller (spawn or join an
+n-replica cluster, declarative fault injection, graceful shutdown,
+prefix-agreement verification), :mod:`repro.live.client` the
+``python -m repro load`` open-loop driver, and
+:mod:`repro.live.validate` the ``repro compare --live`` cross-check of
+live against simulated latency/throughput curves.
+"""

@@ -1,0 +1,189 @@
+"""``python -m repro load``: open-loop client driver for a live cluster.
+
+Fetches the running cluster's spec from the ``repro serve`` control
+port, dials every replica's data listener, and issues
+:class:`~repro.core.requests.ClientRequest` frames on the same
+open-loop arrival stream the simulator uses
+(:func:`repro.harness.workload.arrival_times` on a seeded RNG — the
+spacing law, not just the mean rate, matches the simulated workload).
+A request counts as committed once ``f + 1`` distinct replicas return
+matching :class:`~repro.core.replies.Reply` frames (the cluster runs
+with ``send_replies``), and its commit latency is the wall-clock span
+from issue to the ``f+1``-th matching reply.
+
+Prints per-run latency/throughput statistics as a JSON line, and with
+``--json`` appends the raw per-request samples for ``repro compare
+--live``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+
+from repro.core.replies import Reply, ReplyTracker
+from repro.core.requests import ClientRequest
+from repro.errors import ReproError
+from repro.harness.workload import arrival_times
+from repro.live.transport import LiveTransport
+from repro.net import framing
+
+#: How long after the last arrival the driver keeps collecting replies.
+DRAIN_GRACE = 2.0
+
+
+class LoadClient:
+    """The actor a :class:`LiveTransport` dispatches replies into."""
+
+    def __init__(self, name: str, f: int) -> None:
+        self.name = name
+        self.f = f
+        self.replies = ReplyTracker(f)
+        self.issue_times: dict[int, float] = {}
+        self.latencies: list[float] = []
+        self.commit_times: list[float] = []
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Reply) and payload.client == self.name:
+            now = time.monotonic()
+            if self.replies.note_reply(payload, now):
+                issued_at = self.issue_times.get(payload.req_id)
+                if issued_at is not None:
+                    self.latencies.append(now - issued_at)
+                    self.commit_times.append(now)
+
+
+async def fetch_spec(control: str, auth_key: bytes | None) -> dict:
+    """Ask the controller for the running cluster's start spec."""
+    host, _, port = control.rpartition(":")
+    reader, writer = await asyncio.open_connection(host, int(port))
+    try:
+        if auth_key is not None:
+            await framing.answer_challenge_async(reader, writer, auth_key)
+        framing.write_frame(writer, ("spec?",))
+        await writer.drain()
+        frame = await framing.read_frame(reader)
+    finally:
+        writer.close()
+    if not (isinstance(frame, tuple) and frame[0] == "spec"):
+        raise ReproError(f"controller sent {frame!r} instead of a spec")
+    return frame[1]
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+async def run_load(args) -> int:
+    auth_key = framing.resolve_auth_key(args.auth_key)
+    spec = await fetch_spec(args.control, auth_key)
+    replicas = sorted(spec["addresses"])
+    request_bytes = int(spec.get("request_bytes", 64))
+
+    client = LoadClient(args.client_id, spec["f"])
+    transport = LiveTransport(
+        args.client_id,
+        addresses={name: tuple(addr) for name, addr in spec["addresses"].items()},
+        auth_key=auth_key,
+    )
+    transport.attach(client)
+    transport.host(args.client_id)
+
+    rng = random.Random(args.seed)
+    schedule = list(arrival_times(args.rate, args.duration, args.spacing, rng))
+    start = time.monotonic()
+    next_id = 1
+    for at in schedule:
+        delay = (start + at) - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        request = ClientRequest(
+            client=args.client_id, req_id=next_id, size_bytes=request_bytes
+        )
+        client.issue_times[next_id] = time.monotonic()
+        next_id += 1
+        transport.multicast(
+            args.client_id, replicas, request, request.size_bytes
+        )
+    await asyncio.sleep(DRAIN_GRACE)
+    await transport.close()
+
+    issued = len(schedule)
+    committed = len(client.latencies)
+    elapsed = (
+        (client.commit_times[-1] - start) if client.commit_times else args.duration
+    )
+    latencies = client.latencies
+    summary = {
+        "protocol": spec["protocol"],
+        "f": spec["f"],
+        "rate": args.rate,
+        "duration": args.duration,
+        "issued": issued,
+        "committed": committed,
+        "latency_mean_s": sum(latencies) / committed if committed else None,
+        "latency_p50_s": percentile(latencies, 0.50) if committed else None,
+        "latency_p95_s": percentile(latencies, 0.95) if committed else None,
+        "throughput_rps": committed / elapsed if elapsed > 0 else 0.0,
+    }
+    if args.json:
+        summary["samples"] = [round(v, 6) for v in latencies]
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        summary.pop("samples")
+    print(json.dumps(summary, sort_keys=True), flush=True)
+    if committed == 0 and issued > 0:
+        print("load: no request ever committed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def add_load_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--control", default="127.0.0.1:7600",
+                        metavar="HOST:PORT",
+                        help="repro serve control address")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="aggregate requests per second (default 50)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of offered load (default 5)")
+    parser.add_argument("--spacing", choices=("poisson", "uniform"),
+                        default="poisson")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="arrival-stream RNG seed")
+    parser.add_argument("--client-id", default="c1",
+                        help="client name replicas see (default c1)")
+    parser.add_argument("--auth-key", default=None,
+                        help=f"pre-shared handshake key (or ${framing.AUTH_KEY_ENV})")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write summary + raw samples to FILE")
+
+
+def cmd_load(args) -> int:
+    return asyncio.run(run_load(args))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro load",
+        description="drive a live cluster with an open-loop request stream",
+    )
+    add_load_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return cmd_load(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

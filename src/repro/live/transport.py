@@ -1,0 +1,301 @@
+"""TCP/asyncio message fabric presenting the simulated-network surface.
+
+One :class:`LiveTransport` per node process.  The hosted order process
+talks to it exactly as it talks to :class:`repro.net.network.Network`
+(``send`` / ``multicast`` / ``has_actor`` / ``attach`` / ``set_link``),
+but delivery is real: frames are length-prefixed pickles
+(:mod:`repro.net.framing`), one dialled connection per destination
+replica with reconnect-and-backoff, and dynamic return routes for
+clients that dial in.  Two deliberate departures from the simulated
+fabric:
+
+* ``depart_time`` (the simulated CPU-marshalling completion) is
+  ignored — a real CPU does the real work;
+* no ``receive_service`` modelling — inbound frames dispatch straight
+  into the hosted actor's ``on_message`` on the event loop, which is
+  single-threaded like the simulator, so protocol code needs no locks.
+
+Everything except :meth:`send`/:meth:`multicast` enqueueing happens on
+the owning event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Iterable
+
+from repro.errors import ConfigError
+from repro.net import framing
+
+#: Per-destination outbound queue bound; a destination that is down
+#: keeps only the newest frames (the protocol tolerates message loss
+#: to crashed peers — that is its whole point).
+MAX_QUEUED_FRAMES = 2048
+#: Reconnect backoff bounds (seconds).
+_BACKOFF_FIRST = 0.05
+_BACKOFF_MAX = 1.0
+
+_STOP = object()
+
+
+class LiveTransport:
+    """The network surface of one live node.
+
+    Parameters
+    ----------
+    name:
+        This node's own name (the hosted process or client).
+    addresses:
+        ``{peer_name: (host, port)}`` data listeners of the replicas.
+    auth_key:
+        Pre-shared key for the frame-level handshake (``None`` on
+        loopback).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        addresses: dict[str, tuple[str, int]] | None = None,
+        auth_key: bytes | None = None,
+    ) -> None:
+        self.name = name
+        self.addresses = dict(addresses or {})
+        self.auth_key = auth_key
+        self._actors: dict[str, Any] = {}
+        self._hosted: set[str] = set()
+        # Dynamic return routes: peers that dialled us (clients, or
+        # replicas whose hello arrived first), name -> StreamWriter.
+        self._routes: dict[str, asyncio.StreamWriter] = {}
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._channels: dict[str, asyncio.Task] = {}
+        self._server: asyncio.Server | None = None
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.frames_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology (the Network surface plugin builds touch)
+    # ------------------------------------------------------------------
+    def attach(self, actor: Any) -> None:
+        if actor.name in self._actors:
+            raise ConfigError(f"duplicate actor name {actor.name!r}")
+        self._actors[actor.name] = actor
+
+    def actor(self, name: str) -> Any:
+        return self._actors[name]
+
+    def has_actor(self, name: str) -> bool:
+        """True for every reachable name: locally attached actors,
+        replicas with known addresses, and dialled-in peers (clients
+        become addressable the moment their hello frame arrives)."""
+        return (
+            name in self._actors
+            or name in self.addresses
+            or name in self._routes
+        )
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._actors)
+
+    def set_link(self, src: str, dst: str, model: Any) -> None:
+        """Pair links are a delay-model concept; the wire is the wire."""
+
+    def tap(self, callback: Callable[..., None]) -> None:
+        """Departure taps observe simulated envelopes; not supported."""
+
+    def host(self, *names: str) -> None:
+        """Mark ``names`` as served by this node: sends to them
+        dispatch locally instead of over TCP."""
+        self._hosted.update(names)
+
+    # ------------------------------------------------------------------
+    # Listener
+    # ------------------------------------------------------------------
+    async def start_listener(self, host: str, port: int = 0) -> tuple[str, int]:
+        """Bind the data listener; returns the bound (host, port)."""
+        framing.require_auth_for_bind(host, self.auth_key)
+        self._server = await asyncio.start_server(self._serve_peer, host, port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def _serve_peer(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = None
+        try:
+            if self.auth_key is not None:
+                await framing.deliver_challenge_async(reader, writer, self.auth_key)
+            hello = await framing.read_frame(reader)
+            if not (isinstance(hello, tuple) and hello[0] == "hello"):
+                return
+            peer = hello[1]
+            self._routes[peer] = writer
+            while True:
+                frame = await framing.read_frame(reader)
+                self._dispatch_frame(frame)
+        except (framing.PeerLost, framing.AuthenticationError, OSError):
+            pass
+        finally:
+            if peer is not None and self._routes.get(peer) is writer:
+                del self._routes[peer]
+            writer.close()
+
+    def _dispatch_frame(self, frame: object) -> None:
+        if not (isinstance(frame, tuple) and len(frame) == 4 and frame[0] == "msg"):
+            return
+        _, sender, dest, payload = frame
+        if dest not in self._hosted:
+            return  # misrouted or for a mirror: not ours to handle
+        actor = self._actors.get(dest)
+        if actor is None:
+            return
+        self.frames_delivered += 1
+        actor.on_message(sender, payload)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        sender: str,
+        dest: str,
+        payload: Any,
+        size_bytes: int,
+        depart_time: float | None = None,
+    ) -> None:
+        """Route one message.  Local destinations dispatch on the next
+        loop turn (so a handler's sends never re-enter protocol code
+        mid-handler, matching the simulator's event discipline)."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        if dest in self._hosted:
+            actor = self._actors.get(dest)
+            if actor is not None:
+                asyncio.get_running_loop().call_soon(actor.on_message, sender, payload)
+            return
+        self._enqueue(dest, ("msg", sender, dest, payload))
+
+    def multicast(
+        self,
+        sender: str,
+        dests: Iterable[str],
+        payload: Any,
+        size_bytes: int,
+        depart_time: float | None = None,
+    ) -> None:
+        for dest in dests:
+            self.send(sender, dest, payload, size_bytes, depart_time)
+
+    def _enqueue(self, dest: str, frame: tuple) -> None:
+        if self._closed:
+            return
+        route = self._routes.get(dest)
+        if route is not None and not route.is_closing():
+            # A dialled-in peer (a client awaiting replies): answer on
+            # its own connection.
+            try:
+                framing.write_frame(route, frame)
+            except OSError:
+                pass
+            return
+        if dest not in self.addresses:
+            return  # unreachable: a mirror-only name, or a gone client
+        queue = self._queues.get(dest)
+        if queue is None:
+            queue = self._queues[dest] = asyncio.Queue()
+            self._channels[dest] = asyncio.get_running_loop().create_task(
+                self._channel(dest, queue)
+            )
+        if queue.qsize() >= MAX_QUEUED_FRAMES:
+            queue.get_nowait()  # shed oldest: the peer is long gone
+        queue.put_nowait(frame)
+
+    async def _channel(self, dest: str, queue: asyncio.Queue) -> None:
+        """Outbound connection to one peer: dial, handshake, drain the
+        queue; reconnect with bounded backoff on any failure.
+
+        The connection is full duplex — the peer answers over *this*
+        connection (its dialled-in return route) rather than dialling
+        back, so every successful dial also starts an inbound pump.
+        """
+        host, port = self.addresses[dest]
+        writer: asyncio.StreamWriter | None = None
+        pump: asyncio.Task | None = None
+        backoff = _BACKOFF_FIRST
+        while not self._closed:
+            frame = await queue.get()
+            if frame is _STOP:
+                break
+            while not self._closed:
+                if writer is None or writer.is_closing():
+                    if pump is not None:
+                        pump.cancel()
+                        pump = None
+                    try:
+                        reader, writer = await asyncio.open_connection(host, port)
+                        if self.auth_key is not None:
+                            await framing.answer_challenge_async(
+                                reader, writer, self.auth_key
+                            )
+                        framing.write_frame(writer, ("hello", self.name))
+                        await writer.drain()
+                        backoff = _BACKOFF_FIRST
+                        pump = asyncio.get_running_loop().create_task(
+                            self._pump_inbound(reader)
+                        )
+                        self._reader_tasks.add(pump)
+                        pump.add_done_callback(self._reader_tasks.discard)
+                    except (OSError, framing.PeerLost, framing.AuthenticationError):
+                        writer = None
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, _BACKOFF_MAX)
+                        if queue.qsize() >= MAX_QUEUED_FRAMES:
+                            break  # shed this frame; newer ones queued
+                        continue
+                try:
+                    framing.write_frame(writer, frame)
+                    await writer.drain()
+                    break
+                except (OSError, ConnectionError):
+                    writer.close()
+                    writer = None  # retry the same frame on a fresh dial
+        if pump is not None:
+            pump.cancel()
+        if writer is not None:
+            writer.close()
+
+    async def _pump_inbound(self, reader: asyncio.StreamReader) -> None:
+        """Dispatch frames the peer writes back on an outbound
+        connection (return-route traffic: replies to a client, or a
+        replica answering over the connection we opened first)."""
+        try:
+            while True:
+                frame = await framing.read_frame(reader)
+                self._dispatch_frame(frame)
+        except (framing.PeerLost, OSError, asyncio.CancelledError):
+            return
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        """Stop accepting, flush nothing, drop every connection."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+        for queue in self._queues.values():
+            queue.put_nowait(_STOP)
+        for task in self._channels.values():
+            task.cancel()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for writer in list(self._routes.values()):
+            writer.close()
+        for task in list(self._channels.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass

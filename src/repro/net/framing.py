@@ -1,0 +1,210 @@
+"""Length-prefixed pickle framing and the authenticated handshake.
+
+The single wire codec shared by every real-transport component of the
+harness: the sweep coordinator and its workers
+(:mod:`repro.harness.exec.sockets`) and the live replica runtime
+(:mod:`repro.live`).  A frame is a 4-byte big-endian payload length
+followed by a pickle; both blocking-socket and asyncio stream variants
+are provided so threaded and event-loop code read the same bytes.
+
+Authentication
+--------------
+Pickle is code execution for whoever can reach the port, so binding a
+non-loopback interface requires a pre-shared key
+(:func:`require_auth_for_bind`).  The handshake is the HMAC
+challenge-response of :mod:`multiprocessing.connection`: the listener
+sends ``#CHALLENGE#`` + 20 random bytes, the dialer answers with
+``HMAC-SHA256(key, challenge)``, the listener replies ``#WELCOME#`` or
+``#FAILURE#``.  The key comes from ``--auth-key`` or the
+``REPRO_AUTH_KEY`` environment variable (:func:`resolve_auth_key`);
+both sides must agree or the connection is dropped before any pickle
+is read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import ipaddress
+import os
+import pickle
+import socket
+import struct
+
+from repro.errors import ConfigError
+
+LEN = struct.Struct(">I")
+
+#: Environment variable carrying the pre-shared cluster key.
+AUTH_KEY_ENV = "REPRO_AUTH_KEY"
+
+_CHALLENGE = b"#CHALLENGE#"
+_WELCOME = b"#WELCOME#"
+_FAILURE = b"#FAILURE#"
+_CHALLENGE_BYTES = 20
+
+
+class PeerLost(ConnectionError):
+    """The peer vanished mid-conversation (EOF, reset, or timeout)."""
+
+
+class AuthenticationError(ConnectionError):
+    """The challenge-response handshake failed (wrong or missing key)."""
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket framing
+# ----------------------------------------------------------------------
+def send_msg(sock: socket.socket, obj: object) -> None:
+    """Write one length-prefixed pickle frame."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(LEN.pack(len(data)) + data)
+
+
+def recv_msg(sock: socket.socket) -> object:
+    """Read one frame; :class:`PeerLost` on EOF or timeout."""
+    header = recv_exact(sock, LEN.size)
+    (length,) = LEN.unpack(header)
+    return pickle.loads(recv_exact(sock, length))
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes; :class:`PeerLost` on EOF or timeout."""
+    chunks = []
+    while n:
+        try:
+            chunk = sock.recv(n)
+        except (socket.timeout, TimeoutError) as exc:
+            raise PeerLost(f"timed out awaiting peer: {exc}") from None
+        except OSError as exc:
+            raise PeerLost(f"connection failed: {exc}") from None
+        if not chunk:
+            raise PeerLost("peer closed the connection")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# asyncio framing
+# ----------------------------------------------------------------------
+def write_frame(writer: asyncio.StreamWriter, obj: object) -> None:
+    """Queue one frame on an asyncio stream (caller awaits ``drain``)."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    writer.write(LEN.pack(len(data)) + data)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> object:
+    """Read one frame from an asyncio stream; :class:`PeerLost` on EOF."""
+    try:
+        header = await reader.readexactly(LEN.size)
+        (length,) = LEN.unpack(header)
+        data = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        raise PeerLost(f"peer closed the connection: {exc!r}") from None
+    return pickle.loads(data)
+
+
+# ----------------------------------------------------------------------
+# HMAC challenge-response handshake
+# ----------------------------------------------------------------------
+def _answer(key: bytes, challenge: bytes) -> bytes:
+    return hmac.new(key, challenge, "sha256").digest()
+
+
+def deliver_challenge(sock: socket.socket, key: bytes) -> None:
+    """Listener side of the handshake over a blocking socket.
+
+    Raises :class:`AuthenticationError` when the dialer's response does
+    not match; the caller should close the connection.
+    """
+    challenge = _CHALLENGE + os.urandom(_CHALLENGE_BYTES)
+    send_msg(sock, challenge)
+    response = recv_msg(sock)
+    if not isinstance(response, bytes) or not hmac.compare_digest(
+        response, _answer(key, challenge)
+    ):
+        send_msg(sock, _FAILURE)
+        raise AuthenticationError("peer failed the auth handshake")
+    send_msg(sock, _WELCOME)
+
+
+def answer_challenge(sock: socket.socket, key: bytes) -> None:
+    """Dialer side of the handshake over a blocking socket."""
+    challenge = recv_msg(sock)
+    if not isinstance(challenge, bytes) or not challenge.startswith(_CHALLENGE):
+        raise AuthenticationError("peer did not issue an auth challenge")
+    send_msg(sock, _answer(key, challenge))
+    verdict = recv_msg(sock)
+    if verdict != _WELCOME:
+        raise AuthenticationError("listener rejected our auth key")
+
+
+async def deliver_challenge_async(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, key: bytes
+) -> None:
+    """Listener side of the handshake over asyncio streams."""
+    challenge = _CHALLENGE + os.urandom(_CHALLENGE_BYTES)
+    write_frame(writer, challenge)
+    await writer.drain()
+    response = await read_frame(reader)
+    if not isinstance(response, bytes) or not hmac.compare_digest(
+        response, _answer(key, challenge)
+    ):
+        write_frame(writer, _FAILURE)
+        await writer.drain()
+        raise AuthenticationError("peer failed the auth handshake")
+    write_frame(writer, _WELCOME)
+    await writer.drain()
+
+
+async def answer_challenge_async(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter, key: bytes
+) -> None:
+    """Dialer side of the handshake over asyncio streams."""
+    challenge = await read_frame(reader)
+    if not isinstance(challenge, bytes) or not challenge.startswith(_CHALLENGE):
+        raise AuthenticationError("peer did not issue an auth challenge")
+    write_frame(writer, _answer(key, challenge))
+    await writer.drain()
+    verdict = await read_frame(reader)
+    if verdict != _WELCOME:
+        raise AuthenticationError("listener rejected our auth key")
+
+
+# ----------------------------------------------------------------------
+# Key resolution and bind gating
+# ----------------------------------------------------------------------
+def resolve_auth_key(explicit: str | bytes | None = None) -> bytes | None:
+    """The cluster key: the explicit value, else ``REPRO_AUTH_KEY``.
+
+    Returns ``None`` when neither is set (loopback-only operation).
+    """
+    if explicit:
+        return explicit if isinstance(explicit, bytes) else explicit.encode("utf-8")
+    from_env = os.environ.get(AUTH_KEY_ENV)
+    return from_env.encode("utf-8") if from_env else None
+
+
+def is_loopback(host: str) -> bool:
+    """Whether ``host`` names a loopback interface."""
+    if host in ("localhost", ""):
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
+
+def require_auth_for_bind(host: str, auth_key: bytes | None) -> None:
+    """Refuse a non-loopback bind without a pre-shared key.
+
+    The wire format is pickle; an unauthenticated non-loopback listener
+    hands code execution to anyone who can reach the port.
+    """
+    if auth_key is None and not is_loopback(host):
+        raise ConfigError(
+            f"refusing to bind non-loopback interface {host!r} without an "
+            f"auth key; pass --auth-key or set {AUTH_KEY_ENV} (the same key "
+            f"on every host)"
+        )

@@ -1,0 +1,83 @@
+"""The sockets executor's authenticated handshake.
+
+Pickle over TCP is code execution for anyone who can complete a
+connection, so the coordinator (a) refuses to bind a non-loopback
+interface without a pre-shared key, (b) challenges every connection
+when keyed and serves tasks only to peers that answer correctly, and
+(c) hands the key to the workers it spawns through the environment so
+a keyed local sweep stays plug-and-play.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.exec.sockets import SocketExecutor
+from repro.harness.runner import SweepTask, run_task
+from repro.net import framing
+
+TASK = SweepTask(kind="order", protocol="ct", scheme="md5-rsa1024",
+                 batching_interval=0.1, n_batches=4, warmup_batches=1)
+
+
+def test_non_loopback_bind_requires_key(monkeypatch):
+    monkeypatch.delenv(framing.AUTH_KEY_ENV, raising=False)
+    with pytest.raises(ConfigError):
+        SocketExecutor(jobs=1, bind="0.0.0.0")
+
+
+def test_non_loopback_bind_accepts_env_key(monkeypatch):
+    monkeypatch.setenv(framing.AUTH_KEY_ENV, "cluster-secret")
+    executor = SocketExecutor(jobs=1, bind="0.0.0.0")
+    assert executor.auth_key == b"cluster-secret"
+
+
+def test_keyed_sweep_runs_with_spawned_workers(monkeypatch):
+    """Spawned workers inherit the key via the environment and the
+    sweep completes — identical results to a bare serial run."""
+    monkeypatch.delenv(framing.AUTH_KEY_ENV, raising=False)
+    executor = SocketExecutor(jobs=1, auth_key="a-test-key")
+    [result] = executor.run([TASK])
+    assert result.metrics() == run_task(TASK).metrics()
+
+
+def test_wrong_key_peer_is_refused(monkeypatch):
+    """A dialer answering with the wrong key gets #FAILURE# and no
+    task frame; the sweep still completes through honest workers."""
+    monkeypatch.delenv(framing.AUTH_KEY_ENV, raising=False)
+    executor = SocketExecutor(jobs=1, auth_key="right-key")
+    rejected = threading.Event()
+    saw_task_frame = threading.Event()
+
+    def rogue():
+        # Poll until the coordinator's listener is up, then answer the
+        # challenge with the wrong key and record the verdict.
+        for _ in range(100):
+            port = getattr(executor, "_bound_port", None)
+            if port:
+                break
+            threading.Event().wait(0.02)
+        else:
+            return
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=2) as sock:
+                framing.answer_challenge(sock, b"wrong-key")
+                # Past the handshake?  Then the gate failed: anything
+                # readable next would be a task frame.
+                framing.send_msg(sock, ("hello", 0))
+                framing.recv_msg(sock)
+                saw_task_frame.set()
+        except (framing.AuthenticationError, framing.PeerLost, OSError):
+            rejected.set()
+
+    thread = threading.Thread(target=rogue)
+    thread.start()
+    [result] = executor.run([TASK])
+    thread.join(timeout=5)
+    assert rejected.is_set()
+    assert not saw_task_frame.is_set()
+    assert result.metrics() == run_task(TASK).metrics()

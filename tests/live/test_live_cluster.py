@@ -1,0 +1,156 @@
+"""Live loopback clusters: total order over real TCP, for every protocol.
+
+Each test spawns a real ``python -m repro serve`` controller (which
+spawns one OS process per replica), drives it with ``python -m repro
+load``, and judges the run by the controller's machine-readable
+summary line: every correct replica must report a committed history
+that is a prefix of every other's (live total-order safety), and the
+offered requests must actually commit.
+
+The fail-over test additionally kills the SC coordinator mid-run —
+the node hosting ``p1`` hard-exits, TCP connections drop, and the
+surviving replicas must keep committing through the shadow while the
+clients never notice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [REPO_SRC, env.get("PYTHONPATH", "")] if p
+    )
+    return env
+
+
+def start_serve(*args: str) -> tuple[subprocess.Popen, str]:
+    """Launch a controller; returns (process, control address)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--bind", "127.0.0.1:0", *args],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 30
+    address = None
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"control listening on (\S+)", line)
+        if match:
+            address = match.group(1)
+            break
+    if address is None:
+        proc.kill()
+        raise AssertionError("controller never announced its control port")
+    return proc, address
+
+
+def run_load(control: str, rate: float, duration: float) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "load", "--control", control,
+         "--rate", str(rate), "--duration", str(duration)],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=duration + 30,
+    )
+    assert out.returncode == 0, f"load failed:\n{out.stdout}\n{out.stderr}"
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def finish_serve(proc: subprocess.Popen, timeout: float) -> dict:
+    stdout, stderr = proc.communicate(timeout=timeout)
+    assert proc.returncode == 0, f"serve failed ({proc.returncode}):\n{stderr}"
+    return json.loads(stdout.strip().splitlines()[-1])
+
+
+@pytest.mark.parametrize("protocol", ("sc", "scr", "bft", "ct"))
+def test_cluster_commits_identical_prefix(protocol):
+    proc, control = start_serve("--protocol", protocol, "--f", "1",
+                                "--duration", "5")
+    try:
+        load = run_load(control, rate=40, duration=2.5)
+        summary = finish_serve(proc, timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert load["issued"] > 0
+    assert load["committed"] == load["issued"]
+    assert load["latency_mean_s"] > 0
+    assert summary["histories_agree"] is True
+    assert summary["committed_prefix"] >= load["committed"]
+    assert sorted(summary["reported"]) == sorted(summary["replicas"])
+    assert summary["killed"] == []
+
+
+def test_sc_survives_coordinator_kill(tmp_path):
+    """One injected replica failure mid-load: the coordinator's node
+    process dies for real, survivors agree, clients lose nothing, and
+    the artifact records the fail-over through the standard probes."""
+    proc, control = start_serve(
+        "--protocol", "sc", "--f", "1", "--duration", "8",
+        "--kill-after", "p1:2.5", "--json-dir", str(tmp_path),
+    )
+    try:
+        load = run_load(control, rate=40, duration=5)
+        summary = finish_serve(proc, timeout=40)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert load["issued"] > 0
+    # The fail-over is supposed to be invisible to correct clients.
+    assert load["committed"] >= 0.9 * load["issued"]
+    assert summary["killed"] == ["p1"]
+    assert "p1" not in summary["survivors"]
+    assert len(summary["survivors"]) == 3
+    assert summary["histories_agree"] is True
+    assert summary["committed_prefix"] > 0
+
+    artifact = json.loads((tmp_path / "BENCH_live_sc.json").read_text())
+    assert artifact["schema_version"] == 3
+    [point] = artifact["points"]
+    assert point["kind"] == "live-order"
+    assert "failover" in point["probes"]
+    assert point["metrics"]["failover_latency"] > 0
+    assert point["metrics"]["batches_measured"] > 0
+
+
+def test_serve_controller_reaps_children_on_sigterm():
+    """Satellite regression: a controller killed mid-run must take its
+    replica subprocesses down with it — no orphaned `serve --join`
+    processes keep the ports and CPUs busy."""
+    proc, control = start_serve("--protocol", "ct", "--f", "1")
+    try:
+        time.sleep(1.0)
+        proc.send_signal(signal.SIGTERM)
+        stdout, _ = proc.communicate(timeout=20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    # SIGTERM means "stop the cluster", not "crash": the controller
+    # still verifies and summarises before exiting.
+    summary = json.loads(stdout.strip().splitlines()[-1])
+    assert summary["histories_agree"] is True
+    remaining = subprocess.run(
+        ["pgrep", "-f", f"join {control}"], capture_output=True, text=True
+    )
+    assert remaining.stdout.strip() == "", (
+        f"orphaned replica processes survive the controller:\n{remaining.stdout}"
+    )

@@ -1,0 +1,89 @@
+"""Signal handling of the multi-process coordinators (regression).
+
+Before this subsystem, SIGTERM'ing a sockets-executor sweep left its
+worker subprocesses orphaned: the default handler tore the coordinator
+down mid-`run()` and nobody reaped the fleet.  The coordinator now
+converts SIGINT/SIGTERM into a clean sweep abort — the caller gets a
+:class:`SweepError`, the `finally` path terminates and waits on every
+worker — which this test drives end to end with a real killed
+coordinator process.  (The `repro serve` controller's counterpart
+lives in ``test_live_cluster.py``.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Fixed, unusual port so surviving workers are findable by cmdline.
+COORD_PORT = 47291
+
+COORDINATOR_SCRIPT = textwrap.dedent(
+    f"""
+    import sys
+    from repro.errors import SweepError
+    from repro.harness.exec.sockets import SocketExecutor
+    from repro.harness.runner import SweepTask
+
+    # Long enough that the sweep is still running when the signal
+    # lands; deterministic, so a finished run would fail the test
+    # timing assumption loudly rather than flake.
+    task = SweepTask(kind="order", protocol="sc", scheme="md5-rsa1024",
+                     batching_interval=0.05, n_batches=4000,
+                     warmup_batches=10)
+    executor = SocketExecutor(jobs=2, port={COORD_PORT})
+    print("coordinator ready", flush=True)
+    try:
+        executor.run([task, task])
+    except SweepError as exc:
+        print(f"aborted: {{exc}}", flush=True)
+        sys.exit(3)
+    sys.exit(0)
+    """
+)
+
+
+def _worker_pids() -> list[str]:
+    out = subprocess.run(
+        ["pgrep", "-f", f"connect 127.0.0.1:{COORD_PORT}"],
+        capture_output=True, text=True,
+    )
+    return out.stdout.split()
+
+
+def test_sigterm_coordinator_reaps_workers():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [REPO_SRC, env.get("PYTHONPATH", "")] if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", COORDINATOR_SCRIPT],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        assert "ready" in proc.stdout.readline()
+        # Give the coordinator time to spawn its workers, then kill it
+        # while tasks are in flight.
+        deadline = time.time() + 15
+        while time.time() < deadline and not _worker_pids():
+            time.sleep(0.1)
+        assert _worker_pids(), "workers never appeared"
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=20)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == 3, f"unclean exit:\n{stdout}\n{stderr}"
+    assert "interrupted by SIGTERM" in stdout
+    # The whole point: no orphans.
+    deadline = time.time() + 5
+    while time.time() < deadline and _worker_pids():
+        time.sleep(0.1)
+    assert _worker_pids() == []

@@ -1,0 +1,208 @@
+"""The shared wire codec: framing, handshake, bind gating.
+
+One module now feeds both the sweep coordinator and the live replica
+transport, so these tests pin the contract both depend on: frames
+round-trip through blocking sockets and asyncio streams identically,
+a vanished peer is always :class:`PeerLost` (never a bare OSError or a
+short read), and the HMAC handshake admits matching keys only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net import framing
+from repro.net.framing import (
+    AuthenticationError,
+    PeerLost,
+    answer_challenge,
+    deliver_challenge,
+    is_loopback,
+    recv_msg,
+    require_auth_for_bind,
+    resolve_auth_key,
+    send_msg,
+)
+
+
+def _pair() -> tuple[socket.socket, socket.socket]:
+    return socket.socketpair()
+
+
+# ----------------------------------------------------------------------
+# Blocking framing
+# ----------------------------------------------------------------------
+def test_roundtrip_objects():
+    a, b = _pair()
+    payloads = [("task", 3, {"x": 1.5}), b"\x00" * 70_000, None]
+    try:
+        for obj in payloads:
+            send_msg(a, obj)
+            assert recv_msg(b) == obj
+    finally:
+        a.close()
+        b.close()
+
+
+def test_eof_is_peer_lost():
+    a, b = _pair()
+    a.close()
+    with pytest.raises(PeerLost):
+        recv_msg(b)
+    b.close()
+
+
+def test_partial_frame_is_peer_lost():
+    a, b = _pair()
+    a.sendall(framing.LEN.pack(100) + b"short")
+    a.close()
+    with pytest.raises(PeerLost):
+        recv_msg(b)
+    b.close()
+
+
+def test_timeout_is_peer_lost():
+    a, b = _pair()
+    b.settimeout(0.05)
+    with pytest.raises(PeerLost):
+        recv_msg(b)
+    a.close()
+    b.close()
+
+
+# ----------------------------------------------------------------------
+# asyncio framing
+# ----------------------------------------------------------------------
+def test_async_roundtrip_and_eof():
+    async def scenario():
+        received = []
+
+        async def serve(reader, writer):
+            received.append(await framing.read_frame(reader))
+            framing.write_frame(writer, ("pong", 2))
+            await writer.drain()
+            with pytest.raises(PeerLost):
+                await framing.read_frame(reader)
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        framing.write_frame(writer, ("ping", 1))
+        await writer.drain()
+        reply = await framing.read_frame(reader)
+        writer.close()
+        await asyncio.sleep(0.05)
+        server.close()
+        return received, reply
+
+    received, reply = asyncio.run(scenario())
+    assert received == [("ping", 1)]
+    assert reply == ("pong", 2)
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+def _handshake(listener_key: bytes, dialer_key: bytes):
+    """Run both handshake halves over a socketpair; returns the
+    per-side outcomes (None = success, else the exception)."""
+    a, b = _pair()
+    outcomes: dict[str, Exception | None] = {}
+
+    def listen_side():
+        try:
+            deliver_challenge(a, listener_key)
+            outcomes["listener"] = None
+        except Exception as exc:  # noqa: BLE001 - recording for assert
+            outcomes["listener"] = exc
+
+    thread = threading.Thread(target=listen_side)
+    thread.start()
+    try:
+        answer_challenge(b, dialer_key)
+        outcomes["dialer"] = None
+    except Exception as exc:  # noqa: BLE001
+        outcomes["dialer"] = exc
+    thread.join(timeout=5)
+    a.close()
+    b.close()
+    return outcomes
+
+
+def test_handshake_matching_keys():
+    outcomes = _handshake(b"secret", b"secret")
+    assert outcomes == {"listener": None, "dialer": None}
+
+
+def test_handshake_wrong_key_rejected_both_sides():
+    outcomes = _handshake(b"secret", b"not-the-secret")
+    assert isinstance(outcomes["listener"], AuthenticationError)
+    assert isinstance(outcomes["dialer"], AuthenticationError)
+
+
+def test_async_handshake_matches_blocking():
+    async def scenario(listener_key, dialer_key):
+        results = {}
+
+        async def serve(reader, writer):
+            try:
+                await framing.deliver_challenge_async(reader, writer, listener_key)
+                results["listener"] = None
+            except AuthenticationError as exc:
+                results["listener"] = exc
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            await framing.answer_challenge_async(reader, writer, dialer_key)
+            results["dialer"] = None
+        except AuthenticationError as exc:
+            results["dialer"] = exc
+        writer.close()
+        await asyncio.sleep(0.05)
+        server.close()
+        return results
+
+    good = asyncio.run(scenario(b"k", b"k"))
+    assert good == {"listener": None, "dialer": None}
+    bad = asyncio.run(scenario(b"k", b"wrong"))
+    assert isinstance(bad["listener"], AuthenticationError)
+    assert isinstance(bad["dialer"], AuthenticationError)
+
+
+# ----------------------------------------------------------------------
+# Key resolution and bind gating
+# ----------------------------------------------------------------------
+def test_resolve_auth_key_precedence(monkeypatch):
+    monkeypatch.delenv(framing.AUTH_KEY_ENV, raising=False)
+    assert resolve_auth_key(None) is None
+    assert resolve_auth_key("abc") == b"abc"
+    assert resolve_auth_key(b"raw") == b"raw"
+    monkeypatch.setenv(framing.AUTH_KEY_ENV, "from-env")
+    assert resolve_auth_key(None) == b"from-env"
+    assert resolve_auth_key("explicit-wins") == b"explicit-wins"
+
+
+def test_is_loopback():
+    assert is_loopback("127.0.0.1")
+    assert is_loopback("::1")
+    assert is_loopback("localhost")
+    assert is_loopback("")
+    assert not is_loopback("0.0.0.0")
+    assert not is_loopback("10.1.2.3")
+    assert not is_loopback("example.com")
+
+
+def test_bind_gate_requires_key_off_loopback():
+    require_auth_for_bind("127.0.0.1", None)  # loopback: fine bare
+    require_auth_for_bind("0.0.0.0", b"key")  # keyed: fine anywhere
+    with pytest.raises(ConfigError):
+        require_auth_for_bind("0.0.0.0", None)
