@@ -84,13 +84,16 @@ def check_prefix_agreement(
     """
     if not histories:
         return 0, True
-    lengths = [len(h) for h in histories.values()]
-    prefix = min(lengths)
-    reference = next(iter(histories.values()))
-    for history in histories.values():
-        overlap = min(len(history), len(reference))
-        if history[:overlap] != reference[:overlap]:
-            return prefix, False
+    prefix = min(len(h) for h in histories.values())
+    # Genuinely pairwise: comparing everything against one arbitrary
+    # reference misses two longer histories that agree with a short
+    # reference on its overlap but diverge past it (n is small).
+    items = list(histories.values())
+    for i, left in enumerate(items):
+        for right in items[i + 1:]:
+            overlap = min(len(left), len(right))
+            if left[:overlap] != right[:overlap]:
+                return prefix, False
     return prefix, True
 
 

@@ -31,6 +31,11 @@ from repro.net import framing
 #: keeps only the newest frames (the protocol tolerates message loss
 #: to crashed peers — that is its whole point).
 MAX_QUEUED_FRAMES = 2048
+#: Write-buffer bound for dialled-in return routes.  Those writes
+#: bypass the queued channel path, so without a cap a stalled client
+#: grows an unbounded StreamWriter buffer in the replica; past this,
+#: frames to it are shed (message loss is tolerated, memory loss is not).
+MAX_ROUTE_BUFFER_BYTES = 4 * 1024 * 1024
 #: Reconnect backoff bounds (seconds).
 _BACKOFF_FIRST = 0.05
 _BACKOFF_MAX = 1.0
@@ -129,7 +134,12 @@ class LiveTransport:
             if self.auth_key is not None:
                 await framing.deliver_challenge_async(reader, writer, self.auth_key)
             hello = await framing.read_frame(reader)
-            if not (isinstance(hello, tuple) and hello[0] == "hello"):
+            if not (
+                isinstance(hello, tuple)
+                and len(hello) == 2
+                and hello[0] == "hello"
+                and isinstance(hello[1], str)
+            ):
                 return
             peer = hello[1]
             self._routes[peer] = writer
@@ -195,11 +205,12 @@ class LiveTransport:
         route = self._routes.get(dest)
         if route is not None and not route.is_closing():
             # A dialled-in peer (a client awaiting replies): answer on
-            # its own connection.
-            try:
-                framing.write_frame(route, frame)
-            except OSError:
-                pass
+            # its own connection, shedding when it stops draining.
+            if route.transport.get_write_buffer_size() < MAX_ROUTE_BUFFER_BYTES:
+                try:
+                    framing.write_frame(route, frame)
+                except OSError:
+                    pass
             return
         if dest not in self.addresses:
             return  # unreachable: a mirror-only name, or a gone client

@@ -15,10 +15,13 @@ non-loopback interface requires a pre-shared key
 challenge-response of :mod:`multiprocessing.connection`: the listener
 sends ``#CHALLENGE#`` + 20 random bytes, the dialer answers with
 ``HMAC-SHA256(key, challenge)``, the listener replies ``#WELCOME#`` or
-``#FAILURE#``.  The key comes from ``--auth-key`` or the
-``REPRO_AUTH_KEY`` environment variable (:func:`resolve_auth_key`);
-both sides must agree or the connection is dropped before any pickle
-is read.
+``#FAILURE#``.  Handshake messages travel as *raw* length-prefixed
+byte strings with a small hard cap — never through the pickle codec —
+so nothing attacker-controlled is unpickled before authentication
+succeeds (the same discipline as :mod:`multiprocessing.connection`).
+The key comes from ``--auth-key`` or the ``REPRO_AUTH_KEY``
+environment variable (:func:`resolve_auth_key`); both sides must
+agree or the connection is dropped before any pickle is read.
 """
 
 from __future__ import annotations
@@ -35,6 +38,13 @@ from repro.errors import ConfigError
 
 LEN = struct.Struct(">I")
 
+#: Hard cap on a single frame's payload.  The length header is
+#: attacker-controlled on an unauthenticated connection, so without a
+#: bound any peer can demand a 4 GiB allocation before the handshake
+#: even runs.  Legitimate frames (sweep tasks, protocol messages,
+#: node reports) are well under this.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
 #: Environment variable carrying the pre-shared cluster key.
 AUTH_KEY_ENV = "REPRO_AUTH_KEY"
 
@@ -42,6 +52,9 @@ _CHALLENGE = b"#CHALLENGE#"
 _WELCOME = b"#WELCOME#"
 _FAILURE = b"#FAILURE#"
 _CHALLENGE_BYTES = 20
+#: Hard cap on a raw handshake message; every legitimate one
+#: (challenge, HMAC digest, verdict) is a few dozen bytes.
+_HANDSHAKE_MAX = 256
 
 
 class PeerLost(ConnectionError):
@@ -62,9 +75,12 @@ def send_msg(sock: socket.socket, obj: object) -> None:
 
 
 def recv_msg(sock: socket.socket) -> object:
-    """Read one frame; :class:`PeerLost` on EOF or timeout."""
+    """Read one frame; :class:`PeerLost` on EOF, timeout, or an
+    oversize length header (> :data:`MAX_FRAME_BYTES`)."""
     header = recv_exact(sock, LEN.size)
     (length,) = LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise PeerLost(f"oversize frame header ({length} bytes); dropping peer")
     return pickle.loads(recv_exact(sock, length))
 
 
@@ -95,10 +111,16 @@ def write_frame(writer: asyncio.StreamWriter, obj: object) -> None:
 
 
 async def read_frame(reader: asyncio.StreamReader) -> object:
-    """Read one frame from an asyncio stream; :class:`PeerLost` on EOF."""
+    """Read one frame from an asyncio stream; :class:`PeerLost` on EOF
+    or an oversize length header (> :data:`MAX_FRAME_BYTES`)."""
     try:
         header = await reader.readexactly(LEN.size)
-        (length,) = LEN.unpack(header)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        raise PeerLost(f"peer closed the connection: {exc!r}") from None
+    (length,) = LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise PeerLost(f"oversize frame header ({length} bytes); dropping peer")
+    try:
         data = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
         raise PeerLost(f"peer closed the connection: {exc!r}") from None
@@ -107,9 +129,47 @@ async def read_frame(reader: asyncio.StreamReader) -> object:
 
 # ----------------------------------------------------------------------
 # HMAC challenge-response handshake
+#
+# Handshake messages are raw length-prefixed byte strings, NEVER
+# pickle frames: the whole point of the handshake is that nothing
+# attacker-controlled is unpickled before the peer proves it holds the
+# key.  A tiny hard cap on the length header doubles as the pre-auth
+# allocation bound.
 # ----------------------------------------------------------------------
 def _answer(key: bytes, challenge: bytes) -> bytes:
     return hmac.new(key, challenge, "sha256").digest()
+
+
+def _send_handshake(sock: socket.socket, data: bytes) -> None:
+    sock.sendall(LEN.pack(len(data)) + data)
+
+
+def _recv_handshake(sock: socket.socket) -> bytes:
+    header = recv_exact(sock, LEN.size)
+    (length,) = LEN.unpack(header)
+    if length > _HANDSHAKE_MAX:
+        raise AuthenticationError(
+            f"oversize handshake message ({length} bytes)"
+        )
+    return recv_exact(sock, length)
+
+
+def _write_handshake(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(LEN.pack(len(data)) + data)
+
+
+async def _read_handshake(reader: asyncio.StreamReader) -> bytes:
+    try:
+        header = await reader.readexactly(LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        raise PeerLost(f"peer closed the connection: {exc!r}") from None
+    (length,) = LEN.unpack(header)
+    if length > _HANDSHAKE_MAX:
+        raise AuthenticationError(f"oversize handshake message ({length} bytes)")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+        raise PeerLost(f"peer closed the connection: {exc!r}") from None
 
 
 def deliver_challenge(sock: socket.socket, key: bytes) -> None:
@@ -119,23 +179,21 @@ def deliver_challenge(sock: socket.socket, key: bytes) -> None:
     not match; the caller should close the connection.
     """
     challenge = _CHALLENGE + os.urandom(_CHALLENGE_BYTES)
-    send_msg(sock, challenge)
-    response = recv_msg(sock)
-    if not isinstance(response, bytes) or not hmac.compare_digest(
-        response, _answer(key, challenge)
-    ):
-        send_msg(sock, _FAILURE)
+    _send_handshake(sock, challenge)
+    response = _recv_handshake(sock)
+    if not hmac.compare_digest(response, _answer(key, challenge)):
+        _send_handshake(sock, _FAILURE)
         raise AuthenticationError("peer failed the auth handshake")
-    send_msg(sock, _WELCOME)
+    _send_handshake(sock, _WELCOME)
 
 
 def answer_challenge(sock: socket.socket, key: bytes) -> None:
     """Dialer side of the handshake over a blocking socket."""
-    challenge = recv_msg(sock)
-    if not isinstance(challenge, bytes) or not challenge.startswith(_CHALLENGE):
+    challenge = _recv_handshake(sock)
+    if not challenge.startswith(_CHALLENGE):
         raise AuthenticationError("peer did not issue an auth challenge")
-    send_msg(sock, _answer(key, challenge))
-    verdict = recv_msg(sock)
+    _send_handshake(sock, _answer(key, challenge))
+    verdict = _recv_handshake(sock)
     if verdict != _WELCOME:
         raise AuthenticationError("listener rejected our auth key")
 
@@ -145,16 +203,14 @@ async def deliver_challenge_async(
 ) -> None:
     """Listener side of the handshake over asyncio streams."""
     challenge = _CHALLENGE + os.urandom(_CHALLENGE_BYTES)
-    write_frame(writer, challenge)
+    _write_handshake(writer, challenge)
     await writer.drain()
-    response = await read_frame(reader)
-    if not isinstance(response, bytes) or not hmac.compare_digest(
-        response, _answer(key, challenge)
-    ):
-        write_frame(writer, _FAILURE)
+    response = await _read_handshake(reader)
+    if not hmac.compare_digest(response, _answer(key, challenge)):
+        _write_handshake(writer, _FAILURE)
         await writer.drain()
         raise AuthenticationError("peer failed the auth handshake")
-    write_frame(writer, _WELCOME)
+    _write_handshake(writer, _WELCOME)
     await writer.drain()
 
 
@@ -162,12 +218,12 @@ async def answer_challenge_async(
     reader: asyncio.StreamReader, writer: asyncio.StreamWriter, key: bytes
 ) -> None:
     """Dialer side of the handshake over asyncio streams."""
-    challenge = await read_frame(reader)
-    if not isinstance(challenge, bytes) or not challenge.startswith(_CHALLENGE):
+    challenge = await _read_handshake(reader)
+    if not challenge.startswith(_CHALLENGE):
         raise AuthenticationError("peer did not issue an auth challenge")
-    write_frame(writer, _answer(key, challenge))
+    _write_handshake(writer, _answer(key, challenge))
     await writer.drain()
-    verdict = await read_frame(reader)
+    verdict = await _read_handshake(reader)
     if verdict != _WELCOME:
         raise AuthenticationError("listener rejected our auth key")
 

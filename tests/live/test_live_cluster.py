@@ -154,3 +154,17 @@ def test_serve_controller_reaps_children_on_sigterm():
     assert remaining.stdout.strip() == "", (
         f"orphaned replica processes survive the controller:\n{remaining.stdout}"
     )
+
+
+def test_prefix_agreement_is_pairwise():
+    """Reviewer regression: two long histories that both extend a short
+    reference but diverge from each other must fail the safety check —
+    agreement is pairwise, not against an arbitrary reference."""
+    from repro.live.cluster import check_prefix_agreement
+
+    a, b, c = (1, "x"), (2, "y"), (2, "z")
+    assert check_prefix_agreement({}) == (0, True)
+    assert check_prefix_agreement({"p1": [a], "p2": [a, b], "p3": [a, b]}) \
+        == (1, True)
+    prefix, ok = check_prefix_agreement({"p1": [a], "p2": [a, b], "p3": [a, c]})
+    assert ok is False

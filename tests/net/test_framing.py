@@ -75,6 +75,17 @@ def test_timeout_is_peer_lost():
     b.close()
 
 
+def test_oversize_frame_header_is_peer_lost():
+    """An unauthenticated peer cannot demand a 4 GiB allocation by
+    lying in the length header: the frame is refused unread."""
+    a, b = _pair()
+    a.sendall(framing.LEN.pack(framing.MAX_FRAME_BYTES + 1))
+    with pytest.raises(PeerLost):
+        recv_msg(b)
+    a.close()
+    b.close()
+
+
 # ----------------------------------------------------------------------
 # asyncio framing
 # ----------------------------------------------------------------------
@@ -104,6 +115,31 @@ def test_async_roundtrip_and_eof():
     received, reply = asyncio.run(scenario())
     assert received == [("ping", 1)]
     assert reply == ("pong", 2)
+
+
+def test_async_oversize_frame_header_is_peer_lost():
+    async def scenario():
+        outcome = {}
+
+        async def serve(reader, writer):
+            try:
+                await framing.read_frame(reader)
+            except PeerLost as exc:
+                outcome["error"] = exc
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        _, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(framing.LEN.pack(framing.MAX_FRAME_BYTES + 1))
+        await writer.drain()
+        await asyncio.sleep(0.1)
+        writer.close()
+        server.close()
+        return outcome
+
+    outcome = asyncio.run(scenario())
+    assert isinstance(outcome.get("error"), PeerLost)
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +180,69 @@ def test_handshake_wrong_key_rejected_both_sides():
     outcomes = _handshake(b"secret", b"not-the-secret")
     assert isinstance(outcomes["listener"], AuthenticationError)
     assert isinstance(outcomes["dialer"], AuthenticationError)
+
+
+_EVIL_UNPICKLED: list[str] = []
+
+
+class _Evil:
+    """Pickles to a call recording that unpickling happened."""
+
+    def __reduce__(self):
+        return (_EVIL_UNPICKLED.append, ("unpickled pre-auth",))
+
+
+def test_handshake_never_unpickles_preauth():
+    """A rogue dialer answering the challenge with a crafted pickle
+    gets rejected without the payload ever reaching pickle.loads: the
+    handshake speaks raw capped byte strings, so the bytes are only a
+    wrong HMAC answer."""
+    import pickle
+
+    del _EVIL_UNPICKLED[:]
+    a, b = _pair()
+    outcome: dict[str, Exception | None] = {}
+
+    def listen_side():
+        try:
+            deliver_challenge(a, b"secret")
+            outcome["listener"] = None
+        except Exception as exc:  # noqa: BLE001 - recording for assert
+            outcome["listener"] = exc
+
+    thread = threading.Thread(target=listen_side)
+    thread.start()
+    framing._recv_handshake(b)  # the raw challenge
+    payload = pickle.dumps(_Evil())
+    b.sendall(framing.LEN.pack(len(payload)) + payload)
+    thread.join(timeout=5)
+    a.close()
+    b.close()
+    assert _EVIL_UNPICKLED == []
+    assert isinstance(outcome["listener"], AuthenticationError)
+
+
+def test_handshake_rejects_oversize_message():
+    """A pre-auth peer cannot demand a large allocation through the
+    handshake length header either."""
+    a, b = _pair()
+    outcome: dict[str, Exception | None] = {}
+
+    def listen_side():
+        try:
+            deliver_challenge(a, b"secret")
+            outcome["listener"] = None
+        except Exception as exc:  # noqa: BLE001
+            outcome["listener"] = exc
+
+    thread = threading.Thread(target=listen_side)
+    thread.start()
+    framing._recv_handshake(b)
+    b.sendall(framing.LEN.pack(2**31))  # claim a 2 GiB response
+    thread.join(timeout=5)
+    a.close()
+    b.close()
+    assert isinstance(outcome["listener"], AuthenticationError)
 
 
 def test_async_handshake_matches_blocking():
