@@ -113,8 +113,16 @@ def _maybe_crash(task: SweepTask, attempt: int) -> None:
 
 
 def worker_loop(host: str, port: int, auth_key: bytes | None = None) -> int:
-    """Connect to a coordinator and run tasks until told to stop."""
-    with socket.create_connection((host, port)) as sock:
+    """Connect to a coordinator and run tasks until told to stop.
+
+    The initial dial retries on the shared jittered-backoff policy
+    (:data:`repro.net.framing.STARTUP`): external joiners routinely
+    race the coordinator's bind, and a fixed-cadence (or single-shot)
+    dial loses that race spuriously.  A coordinator that never appears
+    is a clean :class:`~repro.net.framing.PeerLost` once the retry
+    budget is spent.
+    """
+    with framing.connect_with_retry(host, port, framing.STARTUP) as sock:
         if auth_key is not None:
             try:
                 framing.answer_challenge(sock, auth_key)

@@ -46,12 +46,14 @@ from repro.harness.probes.registry import (
     validate_names,
 )
 
-# Importing the module registers the paper's probes.
+# Importing the modules registers the paper's probes and the live
+# recovery-timeline probe.
 from repro.harness.probes.paper import (
     FailoverProbe,
     OrderLatencyProbe,
     ThroughputProbe,
 )
+from repro.harness.probes.recovery import RecoveryTimelineProbe
 
 __all__ = [
     "any_needs_digests",
@@ -61,6 +63,7 @@ __all__ = [
     "Probe",
     "ProbeContext",
     "ProbeReport",
+    "RecoveryTimelineProbe",
     "ThroughputProbe",
     "all_probes",
     "as_records",

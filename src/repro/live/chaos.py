@@ -1,0 +1,271 @@
+"""Declarative network-fault injection for the live transport.
+
+The simulator injects faults by name (:data:`repro.failures.injector.
+FAULT_KINDS` — ``crash``, ``delay_surge``...); this module is the live
+counterpart for the *network* half of that vocabulary: named, windowed
+rules that a ``repro serve`` controller parses once, ships to every
+node inside the start spec, and each node's :class:`~repro.live.
+transport.LiveTransport` consults on its send path.  Sim and live
+scenarios therefore share one fault-description style — a kind, a
+target, an activation time and a duration — even though the mechanisms
+differ (the simulator mutates delay models and fault plans; the live
+layer drops or delays real frames).
+
+Three kinds, one flag each on ``repro serve``:
+
+``partition`` (``--partition a,b|c,d:T:D``)
+    Split the replica set into groups for the window ``[T, T+D)``;
+    frames crossing a group boundary are dropped.  Names absent from
+    every group (clients, unlisted replicas) stay connected to all
+    groups — the paper's network stays fair-lossy for them.
+
+``drop`` (``--drop p:RATE:T:D``)
+    Drop each frame to or from replica ``p`` with probability RATE
+    during the window (``*`` targets every link).
+
+``delay`` (``--delay-jitter p:JITTER:T:D``)
+    Hold each frame to or from ``p`` for ``uniform(0, JITTER)``
+    seconds during the window — reordering across links, the classic
+    asynchrony stressor.
+
+Rules travel in the spec as plain tuples (:meth:`ChaosRule.to_row` /
+:func:`rules_from_rows`) so the frame codec never learns new types,
+and every node rebuilds an identical schedule.  Randomised decisions
+(drop, jitter) draw from a per-node seeded RNG, so a run's chaos is
+reproducible given the spec's seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: The live network-fault vocabulary (the ``kind`` values rules use).
+NET_FAULT_KINDS = ("partition", "drop", "delay")
+
+#: ``action()`` verdicts.
+PASS = ("pass", 0.0)
+DROP = ("drop", 0.0)
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One windowed network fault.
+
+    ``groups`` is only meaningful for ``partition``; ``target`` /
+    ``rate`` / ``jitter`` only for ``drop`` and ``delay``.  The window
+    is ``[start, start + duration)`` in cluster time (seconds since
+    the agreed epoch).
+    """
+
+    kind: str
+    start: float
+    duration: float
+    groups: tuple[tuple[str, ...], ...] = ()
+    target: str = ""
+    rate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in NET_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown network fault kind {self.kind!r}; known: "
+                f"{NET_FAULT_KINDS}"
+            )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def to_row(self) -> tuple:
+        """Spec-serializable form (plain tuples only)."""
+        return (
+            self.kind, self.start, self.duration,
+            tuple(tuple(g) for g in self.groups),
+            self.target, self.rate, self.jitter,
+        )
+
+
+def rule_from_row(row: tuple) -> ChaosRule:
+    kind, start, duration, groups, target, rate, jitter = row
+    return ChaosRule(
+        kind=kind, start=float(start), duration=float(duration),
+        groups=tuple(tuple(g) for g in groups),
+        target=str(target), rate=float(rate), jitter=float(jitter),
+    )
+
+
+def rules_from_rows(rows) -> tuple[ChaosRule, ...]:
+    return tuple(rule_from_row(row) for row in rows or ())
+
+
+# ----------------------------------------------------------------------
+# Flag parsing (the serve controller's surface)
+# ----------------------------------------------------------------------
+def _window(parts: list[str], flag: str, spec: str) -> tuple[float, float]:
+    try:
+        start = float(parts[0])
+        duration = float(parts[1]) if len(parts) > 1 else float("inf")
+    except (ValueError, IndexError):
+        raise ConfigError(f"{flag} wants :T[:D] at the end, got {spec!r}") from None
+    if start < 0 or duration <= 0:
+        raise ConfigError(f"{flag}: window must have T >= 0 and D > 0 ({spec!r})")
+    return start, duration
+
+
+def parse_partition(spec: str) -> ChaosRule:
+    """``a,b|c,d:T[:D]`` — groups separated by ``|``, comma members."""
+    head, *window = spec.split(":")
+    groups = tuple(
+        tuple(name for name in group.split(",") if name)
+        for group in head.split("|")
+    )
+    if len(groups) < 2 or any(not g for g in groups):
+        raise ConfigError(
+            f"--partition wants at least two non-empty groups "
+            f"(a,b|c,d:T:D), got {spec!r}"
+        )
+    flat = [name for group in groups for name in group]
+    if len(flat) != len(set(flat)):
+        raise ConfigError(f"--partition groups overlap in {spec!r}")
+    start, duration = _window(window, "--partition", spec)
+    return ChaosRule(
+        kind="partition", start=start, duration=duration, groups=groups
+    )
+
+
+def parse_drop(spec: str) -> ChaosRule:
+    """``p:RATE:T[:D]`` — drop frames to/from ``p`` at RATE."""
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise ConfigError(f"--drop wants NAME:RATE:T[:D], got {spec!r}")
+    try:
+        rate = float(parts[1])
+    except ValueError:
+        raise ConfigError(f"--drop rate must be a float in {spec!r}") from None
+    if not 0.0 < rate <= 1.0:
+        raise ConfigError(f"--drop rate must be in (0, 1], got {rate}")
+    start, duration = _window(parts[2:], "--drop", spec)
+    return ChaosRule(
+        kind="drop", start=start, duration=duration,
+        target=parts[0], rate=rate,
+    )
+
+
+def parse_delay_jitter(spec: str) -> ChaosRule:
+    """``p:JITTER:T[:D]`` — hold frames to/from ``p`` up to JITTER s."""
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise ConfigError(f"--delay-jitter wants NAME:JITTER:T[:D], got {spec!r}")
+    try:
+        jitter = float(parts[1])
+    except ValueError:
+        raise ConfigError(
+            f"--delay-jitter jitter must be a float in {spec!r}"
+        ) from None
+    if jitter <= 0:
+        raise ConfigError(f"--delay-jitter jitter must be > 0, got {jitter}")
+    start, duration = _window(parts[2:], "--delay-jitter", spec)
+    return ChaosRule(
+        kind="delay", start=start, duration=duration,
+        target=parts[0], jitter=jitter,
+    )
+
+
+def parse_chaos_args(
+    partitions: list[str], drops: list[str], jitters: list[str]
+) -> tuple[ChaosRule, ...]:
+    """All three repeatable serve flags into one rule tuple."""
+    rules = [parse_partition(s) for s in partitions or ()]
+    rules += [parse_drop(s) for s in drops or ()]
+    rules += [parse_delay_jitter(s) for s in jitters or ()]
+    return tuple(rules)
+
+
+def validate_targets(rules: tuple[ChaosRule, ...], names) -> None:
+    """Reject rules naming processes the deployment does not have."""
+    known = set(names)
+    for rule in rules:
+        targets = (
+            [n for g in rule.groups for n in g]
+            if rule.kind == "partition"
+            else ([] if rule.target == "*" else [rule.target])
+        )
+        for target in targets:
+            if target not in known:
+                raise ConfigError(
+                    f"chaos target {target!r} is not deployed; processes: "
+                    f"{sorted(known)}"
+                )
+
+
+# ----------------------------------------------------------------------
+# The per-node schedule the transport consults
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosSchedule:
+    """One node's view of the cluster's chaos rules.
+
+    ``action(now, src, dst)`` folds every active rule into a single
+    verdict: ``("drop", 0)``, ``("delay", seconds)`` or ``("pass",
+    0)``.  Drops win over delays; delays accumulate across rules (two
+    jitter windows on the same link add up).
+    """
+
+    rules: tuple[ChaosRule, ...]
+    rng: random.Random = field(default_factory=random.Random)
+    frames_dropped: int = 0
+    frames_delayed: int = 0
+
+    def action(self, now: float, src: str, dst: str) -> tuple[str, float]:
+        delay = 0.0
+        for rule in self.rules:
+            if not rule.active(now):
+                continue
+            if rule.kind == "partition":
+                if self._crosses(rule, src, dst):
+                    self.frames_dropped += 1
+                    return DROP
+            elif rule.kind == "drop":
+                if self._targets(rule, src, dst) and self.rng.random() < rule.rate:
+                    self.frames_dropped += 1
+                    return DROP
+            elif rule.kind == "delay":
+                if self._targets(rule, src, dst):
+                    delay += self.rng.uniform(0.0, rule.jitter)
+        if delay > 0.0:
+            self.frames_delayed += 1
+            return ("delay", delay)
+        return PASS
+
+    @staticmethod
+    def _crosses(rule: ChaosRule, src: str, dst: str) -> bool:
+        src_group = dst_group = None
+        for index, group in enumerate(rule.groups):
+            if src in group:
+                src_group = index
+            if dst in group:
+                dst_group = index
+        # Names outside every group (clients) see all groups.
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    @staticmethod
+    def _targets(rule: ChaosRule, src: str, dst: str) -> bool:
+        return rule.target == "*" or rule.target in (src, dst)
+
+
+def schedule_for_node(
+    rows, node_name: str, seed: int
+) -> ChaosSchedule | None:
+    """Build one node's schedule from spec rows (``None`` when empty).
+
+    The RNG is seeded from ``(seed, node_name)`` so each node draws an
+    independent but reproducible decision stream.
+    """
+    rules = rules_from_rows(rows)
+    if not rules:
+        return None
+    return ChaosSchedule(rules=rules, rng=random.Random(f"{seed}:{node_name}:chaos"))

@@ -58,9 +58,19 @@ class LoadClient:
 
 
 async def fetch_spec(control: str, auth_key: bytes | None) -> dict:
-    """Ask the controller for the running cluster's start spec."""
+    """Ask the controller for the running cluster's start spec.
+
+    The dial retries on the shared jittered-backoff policy
+    (:data:`repro.net.framing.STARTUP`): load drivers routinely race
+    the controller's bind (the CI smoke jobs launch both at once), so
+    a not-yet-listening cluster is a reason to wait, not to fail.  A
+    controller that never appears surfaces as a clean
+    :class:`~repro.net.framing.PeerLost` once the budget is spent.
+    """
     host, _, port = control.rpartition(":")
-    reader, writer = await asyncio.open_connection(host, int(port))
+    reader, writer = await framing.open_connection_with_retry(
+        host, int(port), framing.STARTUP
+    )
     try:
         if auth_key is not None:
             await framing.answer_challenge_async(reader, writer, auth_key)

@@ -15,6 +15,13 @@ p1:2.0`` makes *every* node arm a crash plan on its ``p1``
 (mirror or hosted), so pair suspicion oracles confirm against the
 schedule, and the node hosting ``p1`` goes silent at t=2 and exits
 shortly after.  ``--pause-after p2:1.0:0.5`` is the windowed variant.
+``--restart-after p1:4.0`` brings a killed replica back: the fresh
+process joins the same control port, the controller marks its spec
+``rejoin: True`` and broadcasts the new data address, and the node
+fetches the committed prefix from a live peer before resuming (see
+:mod:`repro.live.recovery`).  Network chaos rides in the same spec:
+``--partition`` / ``--drop`` / ``--delay-jitter`` windows
+(:mod:`repro.live.chaos`) gate every node's send path.
 
 Topology::
 
@@ -41,9 +48,12 @@ import signal
 import subprocess
 import sys
 import time
+from typing import NamedTuple
 
 import repro.protocols as protocols
 from repro.errors import ConfigError, ReproError
+from repro.live import chaos as chaos_mod
+from repro.live import heartbeat as heartbeat_mod
 from repro.net import framing
 
 #: How long the controller waits for all replicas to join.
@@ -74,27 +84,61 @@ def parse_fault_args(kills: list[str], pauses: list[str]) -> list[tuple]:
     return faults
 
 
+def parse_restart_args(restarts: list[str]) -> list[tuple[str, float]]:
+    """``--restart-after p1:4.0`` into ``(target, at)`` rows."""
+    parsed: list[tuple[str, float]] = []
+    for item in restarts or ():
+        target, _, after = item.partition(":")
+        if not target or not after:
+            raise ConfigError(f"--restart-after wants NAME:SECONDS, got {item!r}")
+        parsed.append((target, float(after)))
+    return parsed
+
+
+class PrefixAgreement(NamedTuple):
+    """The verdict of the all-pairs history check.
+
+    ``divergence`` is ``None`` when ``ok``; otherwise ``(slot,
+    replica_a, replica_b)`` naming the first committed slot on which
+    two replicas disagree — the number an operator needs to go digging
+    in the traces, instead of a bare boolean.
+    """
+
+    prefix: int
+    ok: bool
+    divergence: tuple[int, str, str] | None = None
+
+
 def check_prefix_agreement(
     histories: dict[str, list[tuple[int, str]]]
-) -> tuple[int, bool]:
-    """``(common_prefix_length, ok)`` across the reported histories.
-
-    ``ok`` means every pair of histories agrees on their overlap — the
+) -> PrefixAgreement:
+    """All-pairs overlap agreement across the reported histories — the
     live total-order safety check.
+
+    ``prefix`` is the shortest history's length (the prefix everyone
+    committed); disagreement pinpoints the first divergent slot and
+    the two replicas holding it.
     """
     if not histories:
-        return 0, True
+        return PrefixAgreement(0, True)
     prefix = min(len(h) for h in histories.values())
     # Genuinely pairwise: comparing everything against one arbitrary
     # reference misses two longer histories that agree with a short
     # reference on its overlap but diverge past it (n is small).
-    items = list(histories.values())
-    for i, left in enumerate(items):
-        for right in items[i + 1:]:
+    items = list(histories.items())
+    for i, (left_name, left) in enumerate(items):
+        for right_name, right in items[i + 1:]:
             overlap = min(len(left), len(right))
             if left[:overlap] != right[:overlap]:
-                return prefix, False
-    return prefix, True
+                slot = next(
+                    left[k][0]
+                    for k in range(overlap)
+                    if left[k] != right[k]
+                )
+                return PrefixAgreement(
+                    prefix, False, (slot, left_name, right_name)
+                )
+    return PrefixAgreement(prefix, True)
 
 
 class _Controller:
@@ -118,9 +162,21 @@ class _Controller:
                     f"fault target {target!r} is not deployed; processes: "
                     f"{self.names}"
                 )
+        self.restarts = parse_restart_args(args.restart_after)
+        for target, _ in self.restarts:
+            if target not in self.names:
+                raise ConfigError(
+                    f"restart target {target!r} is not deployed; processes: "
+                    f"{self.names}"
+                )
+        self.chaos_rules = chaos_mod.parse_chaos_args(
+            args.partition, args.drop, args.delay_jitter
+        )
+        chaos_mod.validate_targets(self.chaos_rules, self.names)
         self.joined: dict[str, tuple[str, int]] = {}
         self.node_streams: dict[str, tuple] = {}
         self.reports: dict[str, dict] = {}
+        self.restarted: set[str] = set()
         self.spec: dict | None = None
         self.started = asyncio.Event()
         self.all_joined = asyncio.Event()
@@ -176,20 +232,34 @@ class _Controller:
 
     async def _serve_node(self, join: tuple, reader, writer) -> None:
         _, name, host, port, _pid = join
-        if name not in self.names or name in self.joined:
+        if name not in self.names:
             writer.close()
+            return
+        rejoining = name in self.joined and self.started.is_set()
+        if name in self.joined and not rejoining:
+            writer.close()  # duplicate join of a running pre-start name
             return
         self.joined[name] = (host, port)
         self.node_streams[name] = (reader, writer)
-        print(
-            f"serve: {name} joined from {host}:{port} "
-            f"({len(self.joined)}/{len(self.names)})",
-            file=sys.stderr, flush=True,
-        )
-        if len(self.joined) == len(self.names):
-            self.all_joined.set()
-        await self.started.wait()
-        framing.write_frame(writer, ("start", self.spec))
+        if rejoining:
+            self.restarted.add(name)
+            print(
+                f"serve: {name} rejoining from {host}:{port}",
+                file=sys.stderr, flush=True,
+            )
+            await self._broadcast_addr(name, host, port)
+            spec = self._rejoin_spec(name)
+        else:
+            print(
+                f"serve: {name} joined from {host}:{port} "
+                f"({len(self.joined)}/{len(self.names)})",
+                file=sys.stderr, flush=True,
+            )
+            if len(self.joined) == len(self.names):
+                self.all_joined.set()
+            await self.started.wait()
+            spec = self.spec
+        framing.write_frame(writer, ("start", spec))
         try:
             await writer.drain()
         except (OSError, ConnectionError):
@@ -202,6 +272,33 @@ class _Controller:
             return
         if isinstance(frame, tuple) and frame[0] == "report":
             self.reports[name] = frame[1]
+
+    def _rejoin_spec(self, name: str) -> dict:
+        """The start spec a restarted replica receives: current
+        addresses, the rejoin marker, and — crucially — its own kill
+        faults stripped, so the reborn node neither re-arms its own
+        death nor reports itself crashed."""
+        return dict(
+            self.spec,
+            addresses=dict(self.joined),
+            rejoin=True,
+            faults=[
+                f for f in self.spec["faults"]
+                if not (f[0] == name and f[1] == "kill")
+            ],
+        )
+
+    async def _broadcast_addr(self, name: str, host: str, port: int) -> None:
+        """Tell every other live node where the restarted replica now
+        listens (a rebind picks a fresh ephemeral port)."""
+        for peer, (_reader, peer_writer) in self.node_streams.items():
+            if peer == name:
+                continue
+            try:
+                framing.write_frame(peer_writer, ("addr", name, host, port))
+                await peer_writer.drain()
+            except (OSError, ConnectionError):
+                pass
 
     async def run(self) -> int:
         args = self.args
@@ -244,12 +341,22 @@ class _Controller:
                 "seed": args.seed,
                 "addresses": dict(self.joined),
                 "faults": self.faults,
+                "chaos": [rule.to_row() for rule in self.chaos_rules],
+                "hb_interval": args.hb_interval,
+                "hb_timeout": args.hb_timeout,
                 "epoch": time.time() + START_GRACE,
                 "duration": args.duration,
                 "request_bytes": self.config.request_bytes,
             }
             self.started.set()
             print("serve: cluster started", file=sys.stderr, flush=True)
+
+            restart_tasks = [
+                loop.create_task(self._restart_replica(
+                    name, self.spec["epoch"] + after, f"127.0.0.1:{bound[1]}"
+                ))
+                for name, after in self.restarts
+            ]
 
             if args.duration is not None:
                 until = self.spec["epoch"] + args.duration - time.time()
@@ -260,12 +367,39 @@ class _Controller:
             else:
                 await self.stopping.wait()
 
+            for task in restart_tasks:
+                task.cancel()
             await self._broadcast_stop()
             await self._collect_reports()
             return self._finish(bound)
         finally:
             server.close()
             self.reap()
+
+    async def _restart_replica(
+        self, name: str, at_unix: float, control_addr: str
+    ) -> None:
+        """``--restart-after``: bring a replica back at cluster time T.
+
+        In spawned mode the controller launches a fresh node process —
+        the same command line as the original; the rejoin semantics
+        ride in on the spec it receives when it joins.  With external
+        joiners (``--spawn 0``) the operator restarts the process; we
+        just say when.
+        """
+        await asyncio.sleep(max(0.0, at_unix - time.time()))
+        if self.stopping.is_set():
+            return
+        if self.args.spawn != 0:
+            print(f"serve: restarting {name}", file=sys.stderr, flush=True)
+            self.procs.append(self.spawn_node(name, control_addr))
+        else:
+            print(
+                f"serve: restart window for {name} — rejoin it with: "
+                f"python -m repro serve --join {control_addr} "
+                f"--replica-id {name}",
+                file=sys.stderr, flush=True,
+            )
 
     async def _broadcast_stop(self) -> None:
         for name, (_reader, writer) in self.node_streams.items():
@@ -287,12 +421,24 @@ class _Controller:
     def _finish(self, bound) -> int:
         args = self.args
         killed = {t for t, kind, _, _ in self.faults if kind == "kill"}
+        # A killed replica that restarted and reported is a survivor
+        # again — its post-rejoin history *must* pass the agreement
+        # check, which is the whole acceptance test of a state transfer.
         survivors = {
             name: report for name, report in self.reports.items()
-            if name not in killed and not report.get("crashed")
+            if (name not in killed or name in self.restarted)
+            and not report.get("crashed")
+            # A node stopped mid state-transfer never became a replica
+            # again; its (discarded) empty history is not a vote.
+            and not (report.get("rejoin") or {}).get("aborted")
         }
         histories = {name: r["history"] for name, r in survivors.items()}
-        prefix, ok = check_prefix_agreement(histories)
+        agreement = check_prefix_agreement(histories)
+        prefix, ok = agreement.prefix, agreement.ok
+        rejoined = sorted(
+            name for name, report in self.reports.items()
+            if report.get("rejoin") and not report["rejoin"].get("aborted")
+        )
         summary = {
             "protocol": args.protocol,
             "f": args.f,
@@ -300,8 +446,18 @@ class _Controller:
             "reported": sorted(self.reports),
             "survivors": sorted(survivors),
             "killed": sorted(killed),
+            "restarted": sorted(self.restarted),
+            "rejoined": rejoined,
+            "recovery": {
+                name: report["rejoin"]
+                for name, report in self.reports.items()
+                if report.get("rejoin")
+            },
             "committed_prefix": prefix,
             "histories_agree": ok,
+            "divergence": (
+                list(agreement.divergence) if agreement.divergence else None
+            ),
         }
         artifact_file = None
         if args.json_dir and self.reports:
@@ -322,7 +478,12 @@ class _Controller:
             summary["artifact"] = artifact_file
         print(json.dumps(summary, sort_keys=True), flush=True)
         if not ok:
-            print("serve: SAFETY VIOLATION — histories diverge", file=sys.stderr)
+            slot, left, right = agreement.divergence
+            print(
+                f"serve: SAFETY VIOLATION — {left} and {right} diverge "
+                f"at committed slot {slot}",
+                file=sys.stderr,
+            )
             return 1
         print(
             f"serve: {len(survivors)} survivors agree on a committed prefix "
@@ -367,6 +528,31 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pause-after", action="append", default=[],
                         metavar="NAME:SECONDS[:DUR]",
                         help="pause a replica for DUR seconds (repeatable)")
+    parser.add_argument("--restart-after", action="append", default=[],
+                        metavar="NAME:SECONDS",
+                        help="restart a (killed) replica at t=SECONDS; it "
+                             "rejoins via committed-prefix state transfer "
+                             "(repeatable)")
+    parser.add_argument("--partition", action="append", default=[],
+                        metavar="A,B|C,D:T[:D]",
+                        help="drop frames crossing the group boundary during "
+                             "[T, T+D) (repeatable)")
+    parser.add_argument("--drop", action="append", default=[],
+                        metavar="NAME:RATE:T[:D]",
+                        help="drop frames to/from NAME with probability RATE "
+                             "during [T, T+D); NAME may be * (repeatable)")
+    parser.add_argument("--delay-jitter", action="append", default=[],
+                        metavar="NAME:JITTER:T[:D]",
+                        help="hold frames to/from NAME up to JITTER seconds "
+                             "during [T, T+D) (repeatable)")
+    parser.add_argument("--hb-interval", type=float,
+                        default=heartbeat_mod.DEFAULT_INTERVAL,
+                        help="liveness beacon interval in seconds "
+                             f"(default {heartbeat_mod.DEFAULT_INTERVAL})")
+    parser.add_argument("--hb-timeout", type=float,
+                        default=heartbeat_mod.DEFAULT_TIMEOUT,
+                        help="silence after which a peer is suspected "
+                             f"(default {heartbeat_mod.DEFAULT_TIMEOUT})")
     parser.add_argument("--auth-key", default=None,
                         help=f"pre-shared handshake key (or ${framing.AUTH_KEY_ENV})"
                              "; required for non-loopback binds")

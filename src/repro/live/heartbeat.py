@@ -1,0 +1,216 @@
+"""Heartbeat-based failure detection and quorum parking for live nodes.
+
+Every live replica runs one :class:`HeartbeatMonitor`: it beacons
+``("hb", name)`` frames to every peer on a configurable interval and
+tracks when it last heard *anything* from each peer (the transport
+reports all inbound frames, so a busy link never needs its beacons to
+prove liveness).  A peer silent past the timeout is **suspected** —
+a ``peer_suspected`` record with the observed silence goes into the
+node's trace, which is where the ``recovery-timeline`` probe reads
+detection latency from.  A suspected peer that speaks again (a paused
+replica resuming, a partition healing, a restarted replica rejoining)
+is **restored** with a ``peer_restored`` record carrying the outage
+length.
+
+The monitor also embodies the cluster's graceful degradation: when
+fewer than ``quorum`` members (self plus unsuspected peers) remain
+alive, no order batch can commit, so the node **parks** — it emits a
+structured ``quorum_lost`` record (reason, who is suspected, how many
+are needed) and reports the park to its ``on_park`` hook instead of
+letting the operator diagnose a silent hang.  When enough peers return
+it emits ``quorum_restored`` with the outage duration and resumes.
+Parking is advisory by design: the order protocols are already safe
+under quorum loss (they simply cannot commit), so the monitor's job is
+to *name* the condition, not to add a second safety mechanism.
+
+This is the live counterpart of the simulator's suspicion machinery
+(:mod:`repro.core.suspicion`): same vocabulary — silence, suspicion,
+confirmation — but over wall-clock TCP instead of modelled delays.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Iterable
+
+from repro.live.transport import LiveTransport
+
+#: Default beacon interval and suspicion timeout (seconds).
+DEFAULT_INTERVAL = 0.25
+DEFAULT_TIMEOUT = 1.0
+
+
+class HeartbeatMonitor:
+    """Failure detector for one live node.
+
+    Parameters
+    ----------
+    name:
+        This node's name (stamped into every emitted trace record so
+        cluster-merged traces keep their provenance).
+    peers:
+        Replica names to monitor (not clients).
+    transport:
+        The node's :class:`LiveTransport`; the monitor installs itself
+        as its ``peer_activity`` hook and beacons through ``send_raw``.
+    runtime:
+        The node's clock/trace driver (``now`` + ``trace``).
+    quorum:
+        Members (self included) needed for commit progress; fewer
+        alive parks the node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peers: Iterable[str],
+        transport: LiveTransport,
+        runtime,
+        interval: float = DEFAULT_INTERVAL,
+        timeout: float = DEFAULT_TIMEOUT,
+        quorum: int = 1,
+        on_park: Callable[[bool, dict], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.peers = tuple(peers)
+        self.transport = transport
+        self.runtime = runtime
+        self.interval = interval
+        self.timeout = timeout
+        self.quorum = quorum
+        self.on_park = on_park
+        self.last_seen: dict[str, float] = {}
+        self.suspected: set[str] = set()
+        self.suspicions = 0
+        self.restores = 0
+        self.parked = False
+        self.parked_since: float | None = None
+        self.parked_total = 0.0
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install the activity hook and launch the beacon/check loops.
+
+        Every peer starts with a fresh grace period: a cluster member
+        that never speaks at all is suspected ``timeout`` seconds after
+        start, not instantly.
+        """
+        now = self.runtime.now
+        for peer in self.peers:
+            self.last_seen.setdefault(peer, now)
+        self.transport.peer_activity = self.note_alive
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._beat_loop()),
+            loop.create_task(self._check_loop()),
+        ]
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        self._tasks = []
+        if self.parked and self.parked_since is not None:
+            self.parked_total += max(0.0, self.runtime.now - self.parked_since)
+            self.parked = False
+
+    # ------------------------------------------------------------------
+    # Liveness evidence
+    # ------------------------------------------------------------------
+    def note_alive(self, peer: str) -> None:
+        """Any inbound frame from ``peer`` is proof of life."""
+        if peer not in self.last_seen:
+            return  # clients and state-transfer handles are not members
+        now = self.runtime.now
+        self.last_seen[peer] = now
+        if peer in self.suspected:
+            self.suspected.discard(peer)
+            self.restores += 1
+            self.runtime.trace.emit(
+                now, "peer_restored", node=self.name, peer=peer
+            )
+            self._reconsider_quorum(now)
+
+    def check_once(self) -> None:
+        """One suspicion sweep (the check loop's body, callable
+        directly from tests without running the loops)."""
+        now = self.runtime.now
+        for peer, seen in self.last_seen.items():
+            if peer in self.suspected:
+                continue
+            silence = now - seen
+            if silence > self.timeout:
+                self.suspected.add(peer)
+                self.suspicions += 1
+                self.runtime.trace.emit(
+                    now, "peer_suspected",
+                    node=self.name, peer=peer, silence=silence,
+                )
+        self._reconsider_quorum(now)
+
+    @property
+    def alive(self) -> int:
+        """Members currently believed up, self included."""
+        return 1 + len(self.last_seen) - len(self.suspected)
+
+    def _reconsider_quorum(self, now: float) -> None:
+        if self.alive < self.quorum and not self.parked:
+            self.parked = True
+            self.parked_since = now
+            detail = {
+                "node": self.name,
+                "alive": self.alive,
+                "needed": self.quorum,
+                "suspected": sorted(self.suspected),
+                "reason": "quorum lost: commit progress impossible until "
+                          "suspected members return",
+            }
+            self.runtime.trace.emit(now, "quorum_lost", **detail)
+            if self.on_park is not None:
+                self.on_park(True, detail)
+        elif self.alive >= self.quorum and self.parked:
+            self.parked = False
+            outage = max(0.0, now - (self.parked_since or now))
+            self.parked_total += outage
+            detail = {"node": self.name, "alive": self.alive, "outage": outage}
+            self.runtime.trace.emit(now, "quorum_restored", **detail)
+            if self.on_park is not None:
+                self.on_park(False, detail)
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+    async def _beat_loop(self) -> None:
+        frame = ("hb", self.name)
+        try:
+            while True:
+                for peer in self.peers:
+                    self.transport.send_raw(peer, frame)
+                await asyncio.sleep(self.interval)
+        except asyncio.CancelledError:
+            return
+
+    async def _check_loop(self) -> None:
+        # Sweep at half the beacon interval so detection latency is
+        # bounded by timeout + interval/2, not timeout + interval.
+        period = max(self.interval / 2.0, 0.01)
+        try:
+            while True:
+                await asyncio.sleep(period)
+                self.check_once()
+        except asyncio.CancelledError:
+            return
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Counters for the node's report frame."""
+        return {
+            "suspicions": self.suspicions,
+            "suspicions_cleared": self.restores,
+            "suspected_now": sorted(self.suspected),
+            "parked_s": round(self.parked_total, 6),
+        }

@@ -38,6 +38,9 @@ from repro.calibration import paper_testbed
 from repro.crypto.dealer import TrustedDealer
 from repro.errors import ConfigError, SimulationError
 from repro.failures.faults import CrashFault
+from repro.live import chaos as chaos_mod
+from repro.live import heartbeat as heartbeat_mod
+from repro.live import recovery as recovery_mod
 from repro.live.transport import LiveTransport
 from repro.net import framing
 from repro.protocols.base import Deployment
@@ -45,7 +48,7 @@ from repro.sim.trace import Tracer
 
 #: Trace kinds a live node retains: the union of the paper probes'
 #: needs, so live artifacts are built from the same records.
-LIVE_PROBES = ("order-latency", "throughput", "failover")
+LIVE_PROBES = ("order-latency", "throughput", "failover", "recovery-timeline")
 
 #: Seconds after its scheduled crash activation that a killed node
 #: hard-exits, turning protocol-level silence into real TCP death so
@@ -165,9 +168,13 @@ def build_node(
 ):
     """Build this node's deployment and arm the fault schedule.
 
-    Returns the hosted process.  The trusted dealer is seeded from the
-    spec, so every node independently provisions identical simulated
-    keys and fail-signal blanks — no key distribution step.
+    Returns this node's process.  The caller hosts it on the transport
+    — immediately for a fresh start, only after snapshot install for a
+    rejoin: frames to an unhosted name are dropped, which is exactly
+    the quarantine a replica mid state-transfer needs.  The trusted
+    dealer is seeded from the spec, so every node independently
+    provisions identical simulated keys and fail-signal blanks — no
+    key distribution step.
     """
     plugin = protocols.get(spec["protocol"])
     config = config_from_spec(spec)
@@ -187,7 +194,6 @@ def build_node(
         dealer=dealer,
     )
     plugin.build(deployment)
-    transport.host(replica_id)
     for target, kind, after, duration in spec.get("faults", ()):
         process = deployment.processes.get(target)
         if process is None:
@@ -203,7 +209,12 @@ async def run_node(argv_ns) -> int:
     """Join a controller and run one replica until stopped.
 
     ``argv_ns`` carries ``join`` (controller HOST:PORT), ``replica_id``,
-    ``bind`` (data interface) and ``auth_key``.
+    ``bind`` (data interface) and ``auth_key``.  Whether this is a
+    fresh start or a post-crash rejoin is the *controller's* call: a
+    restarted replica runs the exact same command line, and the spec it
+    receives carries ``rejoin: True`` plus the live peers' current
+    addresses, so the node fetches the committed prefix before hosting
+    its process.
     """
     loop = asyncio.get_running_loop()
     auth_key = framing.resolve_auth_key(argv_ns.auth_key)
@@ -212,7 +223,9 @@ async def run_node(argv_ns) -> int:
     transport = LiveTransport(argv_ns.replica_id, auth_key=auth_key)
     data_host, data_port = await transport.start_listener(argv_ns.bind, 0)
 
-    reader, writer = await asyncio.open_connection(host, int(port))
+    reader, writer = await framing.open_connection_with_retry(
+        host, int(port), framing.STARTUP
+    )
     if auth_key is not None:
         await framing.answer_challenge_async(reader, writer, auth_key)
     framing.write_frame(
@@ -224,22 +237,28 @@ async def run_node(argv_ns) -> int:
     if not (isinstance(start, tuple) and start[0] == "start"):
         raise ConfigError(f"controller sent {start!r} instead of a start frame")
     spec = start[1]
+    rejoining = bool(spec.get("rejoin"))
 
     runtime = LiveRuntime(loop, trace=live_tracer())
     transport.addresses.update(
         {name: tuple(addr) for name, addr in spec["addresses"].items()
          if name != argv_ns.replica_id}
     )
+    transport.clock = lambda: runtime.now
+    transport.chaos = chaos_mod.schedule_for_node(
+        spec.get("chaos"), argv_ns.replica_id, spec["seed"]
+    )
     process = build_node(spec, argv_ns.replica_id, runtime, transport)
     runtime.set_epoch(spec["epoch"])
-    runtime.schedule_at(max(0.0, runtime.now), process.start)
 
-    # A scheduled kill of *this* node eventually becomes a real process
-    # death, not just protocol silence.
-    for target, kind, after, _duration in spec.get("faults", ()):
-        if kind == "kill" and target == argv_ns.replica_id:
-            runtime.schedule_at(after + KILL_EXIT_GRACE, os._exit, 0)
+    # Every node serves committed-prefix snapshots to rejoining peers.
+    recovery_mod.serve_state_transfer(transport, process)
 
+    # Stop can arrive during any long-running work — a state transfer
+    # included — as an operator signal or a controller frame, so both
+    # feed one event the whole node body races against, and the control
+    # loop runs from the first moment (it also repoints peer addresses
+    # while a transfer is still in flight).
     stopping = asyncio.Event()
     for signo in (signal.SIGINT, signal.SIGTERM):
         loop.add_signal_handler(signo, stopping.set)
@@ -248,17 +267,102 @@ async def run_node(argv_ns) -> int:
         try:
             while True:
                 frame = await framing.read_frame(reader)
-                if isinstance(frame, tuple) and frame[0] == "stop":
+                if not (isinstance(frame, tuple) and frame):
+                    continue
+                if frame[0] == "stop":
+                    stopping.set()
                     return
+                if frame[0] == "addr" and len(frame) == 4:
+                    # A peer restarted on a new ephemeral port.
+                    _, peer, peer_host, peer_port = frame
+                    if peer != argv_ns.replica_id:
+                        transport.update_address(peer, peer_host, int(peer_port))
         except framing.PeerLost:
-            return  # controller died: nothing left to report to
+            stopping.set()  # controller died: nothing left to run for
+            return
 
     control = loop.create_task(control_loop())
-    stop_wait = loop.create_task(stopping.wait())
-    await asyncio.wait({control, stop_wait}, return_when=asyncio.FIRST_COMPLETED)
-    stop_wait.cancel()
-    control.cancel()
 
+    rejoin_stats: dict | None = None
+    fetcher: recovery_mod.PrefixFetcher | None = None
+    catchup: asyncio.Task | None = None
+    aborted = False
+    if rejoining:
+        fetcher = recovery_mod.PrefixFetcher(
+            argv_ns.replica_id,
+            list(spec["addresses"]),
+            transport.addresses,
+            auth_key,
+            runtime,
+        )
+        fetch = loop.create_task(fetcher.fetch_and_install(process))
+        stop_wait = loop.create_task(stopping.wait())
+        await asyncio.wait(
+            {fetch, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+        )
+        stop_wait.cancel()
+        if fetch.done() and not fetch.cancelled() and fetch.exception() is None:
+            rejoin_stats = fetch.result()
+        else:
+            # Stopped or failed mid-transfer: the candidate machine
+            # dies with the fetch task — the partial snapshot is
+            # discarded, never installed — and the node still reports.
+            aborted = True
+            exc = (
+                fetch.exception()
+                if fetch.done() and not fetch.cancelled() else None
+            )
+            fetch.cancel()
+            fetcher.close()
+            rejoin_stats = {
+                "aborted": True,
+                "error": repr(exc) if exc is not None else "stopped",
+            }
+
+    peers = [n for n in spec["addresses"] if n != argv_ns.replica_id]
+    monitor = heartbeat_mod.HeartbeatMonitor(
+        argv_ns.replica_id,
+        peers,
+        transport,
+        runtime,
+        interval=spec.get("hb_interval", heartbeat_mod.DEFAULT_INTERVAL),
+        timeout=spec.get("hb_timeout", heartbeat_mod.DEFAULT_TIMEOUT),
+        quorum=len(spec["addresses"]) - spec["f"],
+    )
+
+    if not aborted:
+        # Hosting is the commit point: from here frames dispatch into
+        # the process — for a rejoin, on top of the installed prefix.
+        transport.host(argv_ns.replica_id)
+        if rejoining:
+            process.start()
+            catchup = loop.create_task(fetcher.catchup_forever(process))
+        else:
+            runtime.schedule_at(max(0.0, runtime.now), process.start)
+        monitor.start()
+
+        # A scheduled kill of *this* node eventually becomes a real
+        # process death, not just protocol silence.  (A rejoin spec has
+        # its own kills stripped by the controller.)
+        for target, kind, after, _duration in spec.get("faults", ()):
+            if kind == "kill" and target == argv_ns.replica_id:
+                runtime.schedule_at(after + KILL_EXIT_GRACE, os._exit, 0)
+
+        await stopping.wait()
+
+    control.cancel()
+    monitor.stop()
+    if catchup is not None:
+        catchup.cancel()
+    if fetcher is not None:
+        fetcher.close()
+
+    chaos_stats = None
+    if transport.chaos is not None:
+        chaos_stats = {
+            "frames_dropped": transport.chaos.frames_dropped,
+            "frames_delayed": transport.chaos.frames_delayed,
+        }
     report = {
         "replica": argv_ns.replica_id,
         "records": [
@@ -271,6 +375,9 @@ async def run_node(argv_ns) -> int:
         "crashed": bool(process.fault.is_crashed(runtime.now)),
         "frames_delivered": transport.frames_delivered,
         "messages_sent": transport.messages_sent,
+        "heartbeat": monitor.summary(),
+        "rejoin": rejoin_stats,
+        "chaos": chaos_stats,
     }
     try:
         framing.write_frame(writer, ("report", report))

@@ -36,9 +36,6 @@ MAX_QUEUED_FRAMES = 2048
 #: grows an unbounded StreamWriter buffer in the replica; past this,
 #: frames to it are shed (message loss is tolerated, memory loss is not).
 MAX_ROUTE_BUFFER_BYTES = 4 * 1024 * 1024
-#: Reconnect backoff bounds (seconds).
-_BACKOFF_FIRST = 0.05
-_BACKOFF_MAX = 1.0
 
 _STOP = object()
 
@@ -79,6 +76,16 @@ class LiveTransport:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.frames_delivered = 0
+        # Handlers for non-"msg" frame kinds (state transfer, control):
+        # kind -> callable(frame, reply_writer | None).
+        self._control: dict[str, Callable[[tuple, Any], None]] = {}
+        # Liveness hook: called with the peer name for every inbound
+        # frame (heartbeat failure detection feeds on it).
+        self.peer_activity: Callable[[str], None] | None = None
+        # Injectable network-fault schedule (repro.live.chaos) and the
+        # clock it reads (cluster time); None = clean network.
+        self.chaos = None
+        self.clock: Callable[[], float] = lambda: 0.0
 
     # ------------------------------------------------------------------
     # Topology (the Network surface plugin builds touch)
@@ -116,6 +123,38 @@ class LiveTransport:
         dispatch locally instead of over TCP."""
         self._hosted.update(names)
 
+    def register_control(
+        self, kind: str, handler: Callable[[tuple, Any], None]
+    ) -> None:
+        """Dispatch inbound frames tagged ``kind`` (anything but
+        ``"msg"``) to ``handler(frame, reply_writer)``.
+
+        ``reply_writer`` is the StreamWriter of the connection the
+        frame arrived on when it arrived on our listener (the state
+        transfer server answers on it), else ``None``.
+        """
+        self._control[kind] = handler
+
+    def update_address(self, name: str, host: str, port: int) -> None:
+        """Repoint ``name`` at a new data listener (a restarted
+        replica rebinds an ephemeral port).
+
+        The existing outbound channel — still backing off against the
+        dead listener — is torn down with its queued frames (the peer
+        was down; the protocol tolerates that loss); the next send
+        dials the new address.
+        """
+        if self.addresses.get(name) == (host, port):
+            return
+        self.addresses[name] = (host, port)
+        task = self._channels.pop(name, None)
+        self._queues.pop(name, None)
+        if task is not None:
+            task.cancel()
+        route = self._routes.pop(name, None)
+        if route is not None:
+            route.close()
+
     # ------------------------------------------------------------------
     # Listener
     # ------------------------------------------------------------------
@@ -145,7 +184,8 @@ class LiveTransport:
             self._routes[peer] = writer
             while True:
                 frame = await framing.read_frame(reader)
-                self._dispatch_frame(frame)
+                self._note_activity(peer)
+                self._dispatch_frame(frame, writer)
         except (framing.PeerLost, framing.AuthenticationError, OSError):
             pass
         finally:
@@ -153,17 +193,34 @@ class LiveTransport:
                 del self._routes[peer]
             writer.close()
 
-    def _dispatch_frame(self, frame: object) -> None:
-        if not (isinstance(frame, tuple) and len(frame) == 4 and frame[0] == "msg"):
+    def _note_activity(self, peer: str) -> None:
+        callback = self.peer_activity
+        if callback is not None:
+            callback(peer)
+
+    def _dispatch_frame(self, frame: object, writer=None) -> None:
+        if not (isinstance(frame, tuple) and frame):
             return
-        _, sender, dest, payload = frame
-        if dest not in self._hosted:
-            return  # misrouted or for a mirror: not ours to handle
-        actor = self._actors.get(dest)
-        if actor is None:
+        kind = frame[0]
+        if kind == "msg":
+            if len(frame) != 4:
+                return
+            _, sender, dest, payload = frame
+            if dest not in self._hosted:
+                return  # misrouted or for a mirror: not ours to handle
+            actor = self._actors.get(dest)
+            if actor is None:
+                return
+            self.frames_delivered += 1
+            actor.on_message(sender, payload)
             return
-        self.frames_delivered += 1
-        actor.on_message(sender, payload)
+        if kind == "hb":
+            # Pure liveness beacons: the activity note above (or the
+            # pump's) already recorded them; nothing to dispatch.
+            return
+        handler = self._control.get(kind)
+        if handler is not None:
+            handler(frame, writer)
 
     # ------------------------------------------------------------------
     # Transmission
@@ -186,7 +243,7 @@ class LiveTransport:
             if actor is not None:
                 asyncio.get_running_loop().call_soon(actor.on_message, sender, payload)
             return
-        self._enqueue(dest, ("msg", sender, dest, payload))
+        self._transmit(dest, ("msg", sender, dest, payload))
 
     def multicast(
         self,
@@ -198,6 +255,27 @@ class LiveTransport:
     ) -> None:
         for dest in dests:
             self.send(sender, dest, payload, size_bytes, depart_time)
+
+    def send_raw(self, dest: str, frame: tuple) -> None:
+        """Put one non-``msg`` frame (heartbeat, state transfer) on the
+        wire to ``dest``, through the same chaos gate protocol traffic
+        crosses — a partition silences heartbeats too, which is exactly
+        how the failure detector notices it."""
+        self._transmit(dest, frame)
+
+    def _transmit(self, dest: str, frame: tuple) -> None:
+        """The chaos gate in front of every remote transmission."""
+        chaos = self.chaos
+        if chaos is not None:
+            verdict, delay = chaos.action(self.clock(), self.name, dest)
+            if verdict == "drop":
+                return
+            if verdict == "delay":
+                asyncio.get_running_loop().call_later(
+                    delay, self._enqueue, dest, frame
+                )
+                return
+        self._enqueue(dest, frame)
 
     def _enqueue(self, dest: str, frame: tuple) -> None:
         if self._closed:
@@ -226,65 +304,73 @@ class LiveTransport:
 
     async def _channel(self, dest: str, queue: asyncio.Queue) -> None:
         """Outbound connection to one peer: dial, handshake, drain the
-        queue; reconnect with bounded backoff on any failure.
+        queue; reconnect on the shared jittered-backoff policy
+        (:data:`repro.net.framing.RECONNECT`) on any failure, the
+        delay sequence resetting on every successful dial.
 
         The connection is full duplex — the peer answers over *this*
         connection (its dialled-in return route) rather than dialling
         back, so every successful dial also starts an inbound pump.
         """
-        host, port = self.addresses[dest]
         writer: asyncio.StreamWriter | None = None
         pump: asyncio.Task | None = None
-        backoff = _BACKOFF_FIRST
-        while not self._closed:
-            frame = await queue.get()
-            if frame is _STOP:
-                break
+        delays = framing.RECONNECT.delays()
+        try:
             while not self._closed:
-                if writer is None or writer.is_closing():
-                    if pump is not None:
-                        pump.cancel()
-                        pump = None
-                    try:
-                        reader, writer = await asyncio.open_connection(host, port)
-                        if self.auth_key is not None:
-                            await framing.answer_challenge_async(
-                                reader, writer, self.auth_key
-                            )
-                        framing.write_frame(writer, ("hello", self.name))
-                        await writer.drain()
-                        backoff = _BACKOFF_FIRST
-                        pump = asyncio.get_running_loop().create_task(
-                            self._pump_inbound(reader)
-                        )
-                        self._reader_tasks.add(pump)
-                        pump.add_done_callback(self._reader_tasks.discard)
-                    except (OSError, framing.PeerLost, framing.AuthenticationError):
-                        writer = None
-                        await asyncio.sleep(backoff)
-                        backoff = min(backoff * 2, _BACKOFF_MAX)
-                        if queue.qsize() >= MAX_QUEUED_FRAMES:
-                            break  # shed this frame; newer ones queued
-                        continue
-                try:
-                    framing.write_frame(writer, frame)
-                    await writer.drain()
+                frame = await queue.get()
+                if frame is _STOP:
                     break
-                except (OSError, ConnectionError):
-                    writer.close()
-                    writer = None  # retry the same frame on a fresh dial
-        if pump is not None:
-            pump.cancel()
-        if writer is not None:
-            writer.close()
+                while not self._closed:
+                    if writer is None or writer.is_closing():
+                        if pump is not None:
+                            pump.cancel()
+                            pump = None
+                        # Re-read every dial: update_address repoints
+                        # a restarted replica at its new listener.
+                        host, port = self.addresses[dest]
+                        try:
+                            reader, writer = await asyncio.open_connection(host, port)
+                            if self.auth_key is not None:
+                                await framing.answer_challenge_async(
+                                    reader, writer, self.auth_key
+                                )
+                            framing.write_frame(writer, ("hello", self.name))
+                            await writer.drain()
+                            delays = framing.RECONNECT.delays()
+                            pump = asyncio.get_running_loop().create_task(
+                                self._pump_inbound(dest, reader)
+                            )
+                            self._reader_tasks.add(pump)
+                            pump.add_done_callback(self._reader_tasks.discard)
+                        except (
+                            OSError, framing.PeerLost, framing.AuthenticationError
+                        ):
+                            writer = None
+                            await asyncio.sleep(next(delays))
+                            if queue.qsize() >= MAX_QUEUED_FRAMES:
+                                break  # shed this frame; newer ones queued
+                            continue
+                    try:
+                        framing.write_frame(writer, frame)
+                        await writer.drain()
+                        break
+                    except (OSError, ConnectionError):
+                        writer.close()
+                        writer = None  # retry the same frame on a fresh dial
+        finally:
+            if pump is not None:
+                pump.cancel()
+            if writer is not None:
+                writer.close()
 
-    async def _pump_inbound(self, reader: asyncio.StreamReader) -> None:
+    async def _pump_inbound(self, peer: str, reader: asyncio.StreamReader) -> None:
         """Dispatch frames the peer writes back on an outbound
         connection (return-route traffic: replies to a client, or a
         replica answering over the connection we opened first)."""
         try:
             while True:
                 frame = await framing.read_frame(reader)
+                self._note_activity(peer)
                 self._dispatch_frame(frame)
         except (framing.PeerLost, OSError, asyncio.CancelledError):
             return

@@ -32,8 +32,11 @@ from repro.errors import ConfigError
 from repro.harness import artifact as artifact_mod
 from repro.harness.probes import ProbeContext, merge_node_records, replay_records
 
-#: Probes every live artifact point is measured by.
-LIVE_POINT_PROBES = ("order-latency", "throughput")
+#: Probes every live artifact point is measured by.  The recovery
+#: timeline is always included: a clean run reports zeros, a chaos or
+#: restart run reports detection/rejoin/outage figures, and either way
+#: the artifact schema stays identical across run styles.
+LIVE_POINT_PROBES = ("order-latency", "throughput", "recovery-timeline")
 #: Probes added when the run injected faults.
 LIVE_FAILOVER_PROBES = ("failover",)
 #: On-the-fly sim counterparts keep the batch budget small: the point

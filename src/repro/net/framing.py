@@ -31,8 +31,11 @@ import hmac
 import ipaddress
 import os
 import pickle
+import random
 import socket
 import struct
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import ConfigError
 
@@ -63,6 +66,124 @@ class PeerLost(ConnectionError):
 
 class AuthenticationError(ConnectionError):
     """The challenge-response handshake failed (wrong or missing key)."""
+
+
+# ----------------------------------------------------------------------
+# Jittered exponential backoff
+#
+# The one retry cadence every reconnect path in the harness shares: the
+# live transport's per-peer channels, the sweep workers' initial dial,
+# and the load client's controller fetch.  Jitter decorrelates a fleet
+# of peers retrying against the same reborn listener; the budget turns
+# "retry forever on a dead peer" into a bounded failure with a
+# :class:`PeerLost` whose ``__cause__`` names the last underlying error.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delays for one reconnect conversation.
+
+    ``first`` doubles via ``multiplier`` up to ``cap``; each delay is
+    then jittered to ``uniform(delay * (1 - jitter), delay)``.  A
+    ``budget`` bounds the *sum* of delays (and thereby total retry
+    time); ``attempts`` bounds their count.  ``None`` means unbounded.
+    """
+
+    first: float = 0.05
+    cap: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    budget: float | None = None
+    attempts: int | None = None
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The jittered delay sequence, exhausted when the budget is.
+
+        Pass a seeded ``rng`` for deterministic sequences in tests;
+        the default draws from the module-level RNG.
+        """
+        draw = (rng or random).uniform
+        delay = self.first
+        spent = 0.0
+        emitted = 0
+        while True:
+            if self.attempts is not None and emitted >= self.attempts:
+                return
+            jittered = draw(delay * (1.0 - self.jitter), delay) if self.jitter else delay
+            if self.budget is not None:
+                if spent >= self.budget:
+                    return
+                jittered = min(jittered, self.budget - spent)
+            spent += jittered
+            emitted += 1
+            yield jittered
+            delay = min(delay * self.multiplier, self.cap)
+
+
+#: Default policy for dialling a peer that should already be up
+#: (replica data listeners, an established coordinator).
+RECONNECT = BackoffPolicy(first=0.05, cap=1.0, budget=None)
+
+#: Default policy for racing a peer that may still be starting (the
+#: load client vs. the serve controller, workers vs. the coordinator):
+#: bounded, so a truly absent peer is a clean failure, not a hang.
+STARTUP = BackoffPolicy(first=0.1, cap=2.0, budget=20.0)
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    policy: BackoffPolicy = STARTUP,
+    rng: random.Random | None = None,
+) -> socket.socket:
+    """Blocking dial with jittered backoff; the budget caps total wait.
+
+    Raises :class:`PeerLost` chained from the last ``OSError`` when the
+    policy's budget runs out.
+    """
+    import time as _time
+
+    last: Exception | None = None
+    for delay in _with_leading_zero(policy, rng):
+        if delay:
+            _time.sleep(delay)
+        try:
+            return socket.create_connection((host, port))
+        except OSError as exc:
+            last = exc
+    raise PeerLost(
+        f"could not connect to {host}:{port} within the retry budget "
+        f"({policy.budget}s)"
+    ) from last
+
+
+async def open_connection_with_retry(
+    host: str,
+    port: int,
+    policy: BackoffPolicy = STARTUP,
+    rng: random.Random | None = None,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Asyncio dial with jittered backoff; :class:`PeerLost` on budget
+    exhaustion, chained from the last connection error."""
+    last: Exception | None = None
+    for delay in _with_leading_zero(policy, rng):
+        if delay:
+            await asyncio.sleep(delay)
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError as exc:
+            last = exc
+    raise PeerLost(
+        f"could not connect to {host}:{port} within the retry budget "
+        f"({policy.budget}s)"
+    ) from last
+
+
+def _with_leading_zero(
+    policy: BackoffPolicy, rng: random.Random | None
+) -> Iterator[float]:
+    """The policy's delays preceded by an immediate first attempt."""
+    yield 0.0
+    yield from policy.delays(rng)
 
 
 # ----------------------------------------------------------------------

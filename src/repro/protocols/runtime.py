@@ -304,3 +304,71 @@ def replay_process(
         process.on_message(dispatch.sender, dispatch.payload)
     runtime.run_until(max(end_time, runtime.now))
     return process
+
+
+# ----------------------------------------------------------------------
+# Committed-prefix snapshots (live rejoin + state transfer)
+# ----------------------------------------------------------------------
+#: The placeholder client name snapshot-replayed entries carry: the
+#: original (client, req_id) pairs are not part of the digest chain, so
+#: a transferred prefix cannot reconstruct them — and must not trigger
+#: replies either.
+SNAPSHOT_CLIENT = "∅snapshot"
+
+
+def replay_history(
+    name: str,
+    rows: list[tuple[int, bytes]],
+    expected_digest: bytes | None = None,
+    base=None,
+):
+    """Replay committed-prefix ``rows`` through a fresh kernel-free
+    state machine; returns the machine.
+
+    ``rows`` are ``(seq, req_digest)`` pairs as replicas report them
+    (the shape of ``ReplicatedStateMachine.history``).  The replay
+    recomputes the digest chain from genesis exactly as the original
+    execution did, so a row sequence with gaps, replays or altered
+    digests is rejected — either by the machine's own consecutive-seq
+    check (:class:`~repro.errors.ProtocolError`) or by the final
+    ``expected_digest`` comparison against the digest the snapshot
+    provider claimed.  Passing ``base`` continues an already verified
+    machine instead of starting from genesis (delta catch-up chunks).
+    """
+    from repro.core.messages import OrderEntry
+    from repro.core.service import ReplicatedStateMachine
+    from repro.errors import ProtocolError
+
+    machine = base if base is not None else ReplicatedStateMachine(name)
+    for seq, digest in rows:
+        if seq <= machine.applied_seq:
+            continue  # idempotent: resumed transfers may resend rows
+        machine.apply(
+            OrderEntry(
+                seq=seq,
+                req_digest=bytes(digest),
+                client=SNAPSHOT_CLIENT,
+                req_id=0,
+            )
+        )
+    if expected_digest is not None and machine.state_digest() != expected_digest:
+        raise ProtocolError(
+            f"{name}: snapshot digest mismatch after replaying "
+            f"{len(rows)} row(s) to seq {machine.applied_seq} — "
+            f"discarding the transferred prefix"
+        )
+    return machine
+
+
+def install_prefix(process, machine) -> int:
+    """Adopt a verified replayed ``machine`` as ``process``'s committed
+    prefix and fast-forward its execution cursor.
+
+    Returns the adopted ``applied_seq``.  Every order-process flavour
+    (SC/SCR/BFT/CT) executes through ``machine`` + ``_exec_next``, so
+    this is the whole protocol-side rejoin: subsequent committed slots
+    whose ``first_seq`` follows the prefix execute normally.
+    """
+    process.machine = machine
+    process._exec_next = max(process._exec_next, machine.applied_seq + 1)
+    return machine.applied_seq

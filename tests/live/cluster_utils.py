@@ -1,0 +1,66 @@
+"""Shared helpers for driving real ``repro serve`` / ``repro load``
+subprocess clusters from tests."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [REPO_SRC, env.get("PYTHONPATH", "")] if p
+    )
+    return env
+
+
+def start_serve(*args: str) -> tuple[subprocess.Popen, str]:
+    """Launch a controller; returns (process, control address)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--bind", "127.0.0.1:0", *args],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.time() + 30
+    address = None
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"control listening on (\S+)", line)
+        if match:
+            address = match.group(1)
+            break
+    if address is None:
+        proc.kill()
+        raise AssertionError("controller never announced its control port")
+    return proc, address
+
+
+def run_load(control: str, rate: float, duration: float) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "load", "--control", control,
+         "--rate", str(rate), "--duration", str(duration)],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=duration + 30,
+    )
+    assert out.returncode == 0, f"load failed:\n{out.stdout}\n{out.stderr}"
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def finish_serve(proc: subprocess.Popen, timeout: float) -> dict:
+    stdout, stderr = proc.communicate(timeout=timeout)
+    assert proc.returncode == 0, f"serve failed ({proc.returncode}):\n{stderr}"
+    return json.loads(stdout.strip().splitlines()[-1])

@@ -1,0 +1,137 @@
+"""Declarative network chaos: parsing, windows, and verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.live import chaos
+
+
+# ----------------------------------------------------------------------
+# Flag parsing
+# ----------------------------------------------------------------------
+def test_parse_partition_groups_and_window():
+    rule = chaos.parse_partition("p1,p2|p3,p4:2.0:1.5")
+    assert rule.kind == "partition"
+    assert rule.groups == (("p1", "p2"), ("p3", "p4"))
+    assert rule.active(2.0) and rule.active(3.49)
+    assert not rule.active(1.99) and not rule.active(3.5)
+
+
+def test_parse_partition_duration_defaults_to_forever():
+    rule = chaos.parse_partition("p1|p2:1.0")
+    assert rule.active(1e9)
+
+
+@pytest.mark.parametrize("bad", [
+    "p1:1.0",            # one group
+    "p1,p2:1.0",         # still one group
+    "|p2:1.0",           # empty group
+    "p1|p1:1.0",         # overlap
+    "p1|p2",             # no window
+    "p1|p2:-1.0",        # negative start
+])
+def test_parse_partition_rejects_malformed(bad):
+    with pytest.raises(ConfigError):
+        chaos.parse_partition(bad)
+
+
+def test_parse_drop_and_bounds():
+    rule = chaos.parse_drop("p3:0.25:1.0:2.0")
+    assert (rule.kind, rule.target, rule.rate) == ("drop", "p3", 0.25)
+    for bad in ("p3:0:1", "p3:1.5:1", "p3:x:1", "p3:0.5"):
+        with pytest.raises(ConfigError):
+            chaos.parse_drop(bad)
+
+
+def test_parse_delay_jitter():
+    rule = chaos.parse_delay_jitter("*:0.05:0.0:3.0")
+    assert (rule.kind, rule.target, rule.jitter) == ("delay", "*", 0.05)
+    with pytest.raises(ConfigError):
+        chaos.parse_delay_jitter("p1:0:1")
+
+
+def test_rules_round_trip_through_spec_rows():
+    rules = chaos.parse_chaos_args(
+        ["p1,p2|p3:1:2"], ["p4:0.5:0:1"], ["*:0.01:0"]
+    )
+    rows = [rule.to_row() for rule in rules]
+    assert chaos.rules_from_rows(rows) == rules
+
+
+def test_validate_targets_rejects_unknown_names():
+    rules = chaos.parse_chaos_args(["p1|p9:1"], [], [])
+    with pytest.raises(ConfigError, match="p9"):
+        chaos.validate_targets(rules, ["p1", "p2", "p3", "p4"])
+    # '*' is not a process name but always valid as a drop target.
+    chaos.validate_targets(
+        chaos.parse_chaos_args([], ["*:0.1:0"], []), ["p1"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+def _schedule(*specs, seed=1, node="p1"):
+    partitions = [s[1] for s in specs if s[0] == "partition"]
+    drops = [s[1] for s in specs if s[0] == "drop"]
+    jitters = [s[1] for s in specs if s[0] == "delay"]
+    rules = chaos.parse_chaos_args(partitions, drops, jitters)
+    return chaos.schedule_for_node(
+        [r.to_row() for r in rules], node, seed
+    )
+
+
+def test_partition_drops_only_cross_group_frames_in_window():
+    sched = _schedule(("partition", "p1,p2|p3,p4:2.0:1.0"))
+    assert sched.action(2.5, "p1", "p3") == ("drop", 0.0)
+    assert sched.action(2.5, "p3", "p1") == ("drop", 0.0)
+    assert sched.action(2.5, "p1", "p2") == ("pass", 0.0)
+    # Outside the window everything passes.
+    assert sched.action(1.0, "p1", "p3") == ("pass", 0.0)
+    assert sched.action(3.5, "p1", "p3") == ("pass", 0.0)
+
+
+def test_partition_leaves_unlisted_names_connected():
+    sched = _schedule(("partition", "p1,p2|p3,p4:0:10"))
+    # A client outside every group reaches both sides.
+    assert sched.action(1.0, "client-0", "p3") == ("pass", 0.0)
+    assert sched.action(1.0, "p1", "client-0") == ("pass", 0.0)
+
+
+def test_drop_rate_one_always_drops_and_counts():
+    sched = _schedule(("drop", "p2:1.0:0:10"))
+    for _ in range(5):
+        assert sched.action(1.0, "p1", "p2") == ("drop", 0.0)
+    assert sched.frames_dropped == 5
+    assert sched.action(1.0, "p1", "p3") == ("pass", 0.0)
+
+
+def test_delay_jitter_bounded_and_counted():
+    sched = _schedule(("delay", "p2:0.2:0:10"))
+    verdict, delay = sched.action(1.0, "p1", "p2")
+    assert verdict == "delay"
+    assert 0.0 < delay <= 0.2
+    assert sched.frames_delayed == 1
+
+
+def test_drop_wins_over_delay():
+    sched = _schedule(("drop", "p2:1.0:0:10"), ("delay", "p2:0.5:0:10"))
+    assert sched.action(1.0, "p1", "p2") == ("drop", 0.0)
+
+
+def test_schedules_are_deterministic_per_node_and_seed():
+    rows = [chaos.parse_drop("p2:0.5:0:100").to_row()]
+
+    def draw(node, seed):
+        sched = chaos.schedule_for_node(rows, node, seed)
+        return [sched.action(1.0, node, "p2")[0] for _ in range(64)]
+
+    assert draw("p1", 1) == draw("p1", 1)
+    assert draw("p1", 1) != draw("p1", 2) or draw("p1", 1) != draw("p3", 1)
+
+
+def test_empty_rules_mean_no_schedule():
+    assert chaos.schedule_for_node([], "p1", 1) is None
+    assert chaos.schedule_for_node(None, "p1", 1) is None

@@ -16,69 +16,13 @@ clients never notice.
 from __future__ import annotations
 
 import json
-import os
-import re
 import signal
 import subprocess
-import sys
 import time
-from pathlib import Path
 
 import pytest
 
-REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
-
-
-def _env() -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = os.pathsep.join(
-        p for p in [REPO_SRC, env.get("PYTHONPATH", "")] if p
-    )
-    return env
-
-
-def start_serve(*args: str) -> tuple[subprocess.Popen, str]:
-    """Launch a controller; returns (process, control address)."""
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--bind", "127.0.0.1:0", *args],
-        env=_env(),
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
-    )
-    deadline = time.time() + 30
-    address = None
-    while time.time() < deadline:
-        line = proc.stderr.readline()
-        if not line:
-            break
-        match = re.search(r"control listening on (\S+)", line)
-        if match:
-            address = match.group(1)
-            break
-    if address is None:
-        proc.kill()
-        raise AssertionError("controller never announced its control port")
-    return proc, address
-
-
-def run_load(control: str, rate: float, duration: float) -> dict:
-    out = subprocess.run(
-        [sys.executable, "-m", "repro", "load", "--control", control,
-         "--rate", str(rate), "--duration", str(duration)],
-        env=_env(),
-        capture_output=True,
-        text=True,
-        timeout=duration + 30,
-    )
-    assert out.returncode == 0, f"load failed:\n{out.stdout}\n{out.stderr}"
-    return json.loads(out.stdout.strip().splitlines()[-1])
-
-
-def finish_serve(proc: subprocess.Popen, timeout: float) -> dict:
-    stdout, stderr = proc.communicate(timeout=timeout)
-    assert proc.returncode == 0, f"serve failed ({proc.returncode}):\n{stderr}"
-    return json.loads(stdout.strip().splitlines()[-1])
+from cluster_utils import finish_serve, run_load, start_serve
 
 
 @pytest.mark.parametrize("protocol", ("sc", "scr", "bft", "ct"))
@@ -163,8 +107,23 @@ def test_prefix_agreement_is_pairwise():
     from repro.live.cluster import check_prefix_agreement
 
     a, b, c = (1, "x"), (2, "y"), (2, "z")
-    assert check_prefix_agreement({}) == (0, True)
+    assert check_prefix_agreement({}) == (0, True, None)
     assert check_prefix_agreement({"p1": [a], "p2": [a, b], "p3": [a, b]}) \
-        == (1, True)
-    prefix, ok = check_prefix_agreement({"p1": [a], "p2": [a, b], "p3": [a, c]})
-    assert ok is False
+        == (1, True, None)
+    verdict = check_prefix_agreement({"p1": [a], "p2": [a, b], "p3": [a, c]})
+    assert verdict.ok is False
+    # The verdict names the first divergent slot and the two replicas
+    # holding it — what an operator greps the traces for.
+    assert verdict.divergence == (2, "p2", "p3")
+
+
+def test_prefix_agreement_divergence_names_first_slot():
+    from repro.live.cluster import check_prefix_agreement
+
+    left = [(1, "x"), (2, "y"), (3, "q")]
+    right = [(1, "x"), (2, "z"), (3, "q")]
+    verdict = check_prefix_agreement({"pA": left, "pB": right})
+    assert verdict.ok is False
+    slot, first, second = verdict.divergence
+    assert slot == 2
+    assert {first, second} == {"pA", "pB"}
