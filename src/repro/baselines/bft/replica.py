@@ -207,6 +207,10 @@ class BftReplica(OrderProcessBase):
         self._batch_timer_armed = False
         if not self.is_primary or self.crashed:
             return
+        trace = self.sim.trace
+        if trace.wants("queue_depth"):
+            trace.emit(self.sim.now, "queue_depth", actor=self.name,
+                       depth=len(self.unordered))
         if self.unordered and not self.fault.withholds_orders(self.sim.now):
             self._propose_batch()
         self._arm_batch_timer()
@@ -234,6 +238,13 @@ class BftReplica(OrderProcessBase):
             first_seq=batch.first_seq,
             n_requests=len(batch.entries),
         )
+        trace = self.sim.trace
+        if trace.wants("batch_requests"):
+            trace.emit(
+                self.sim.now, "batch_requests", actor=self.name,
+                rank=self.view, batch_id=batch.batch_id,
+                keys=tuple((e.client, e.req_id) for e in batch.entries),
+            )
         pre = PrePrepare(view=self.view, seq=batch.first_seq, batch=batch)
         signed = self.make_signed(pre)
         if self.fault.equivocates(self.sim.now):

@@ -162,6 +162,10 @@ class CtProcess(OrderProcessBase):
         self._batch_timer_armed = False
         if not self.is_coordinator or self.crashed:
             return
+        trace = self.sim.trace
+        if trace.wants("queue_depth"):
+            trace.emit(self.sim.now, "queue_depth", actor=self.name,
+                       depth=len(self.unordered))
         if self.unordered and not self.fault.withholds_orders(self.sim.now):
             batcher = Batcher(self.config.batch_size_bytes)
             requests = batcher.take(self.unordered)
@@ -184,6 +188,12 @@ class CtProcess(OrderProcessBase):
                 first_seq=batch.first_seq,
                 n_requests=len(batch.entries),
             )
+            if trace.wants("batch_requests"):
+                trace.emit(
+                    self.sim.now, "batch_requests", actor=self.name,
+                    rank=batch.rank, batch_id=batch.batch_id,
+                    keys=tuple((e.client, e.req_id) for e in batch.entries),
+                )
             order = _plain(batch)
             self.multicast_payload(self.others, order)
             self._process_order(order)

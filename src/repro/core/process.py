@@ -101,13 +101,23 @@ class OrderProcessBase(Actor):
     def make_signed(self, body: Any) -> SignedMessage:
         """Sign ``body`` as this process, charging sign + digest cost."""
         size = payload_size(body)
-        self.charge(self.cost.sign + self.cost.digest_cost(size))
+        cost = self.cost.sign + self.cost.digest_cost(size)
+        self.charge(cost)
+        trace = self.sim.trace
+        if trace.wants("crypto_op"):
+            trace.emit(self.sim.now, "crypto_op", actor=self.name, op="sign",
+                       msg=type(body).__name__, cost=cost)
         return sign_message(self.provider, self.name, body)
 
     def make_countersigned(self, message: SignedMessage) -> SignedMessage:
         """Add this process's endorsement signature."""
         size = payload_size(message.body)
-        self.charge(self.cost.sign + self.cost.digest_cost(size))
+        cost = self.cost.sign + self.cost.digest_cost(size)
+        self.charge(cost)
+        trace = self.sim.trace
+        if trace.wants("crypto_op"):
+            trace.emit(self.sim.now, "crypto_op", actor=self.name, op="sign",
+                       msg=type(message.body).__name__, cost=cost)
         return countersign(self.provider, self.name, message)
 
     def check_signed(
@@ -209,7 +219,14 @@ class OrderProcessBase(Actor):
             + cal.unmarshal_per_kb * (size_bytes / 1024.0)
             + cal.handle_base
         )
-        return base + self.verification_service(payload, size_bytes)
+        verify = self.verification_service(payload, size_bytes)
+        if verify > 0.0:
+            trace = self.sim.trace
+            if trace.wants("crypto_op"):
+                body = getattr(payload, "body", payload)
+                trace.emit(self.sim.now, "crypto_op", actor=self.name, op="verify",
+                           msg=type(body).__name__, cost=verify)
+        return base + verify
 
     def is_urgent(self, payload: Any) -> bool:
         """Heartbeat-class messages handled at interrupt level;

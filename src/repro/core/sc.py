@@ -349,6 +349,10 @@ class ScProcess(OrderProcessBase):
     def _form_and_propose_batch(self) -> None:
         if self.crashed or self.fault.withholds_orders(self.sim.now):
             return
+        trace = self.sim.trace
+        if trace.wants("queue_depth"):
+            trace.emit(self.sim.now, "queue_depth", actor=self.name,
+                       depth=len(self.unordered))
         if not self.unordered:
             return
         batcher = Batcher(self.config.batch_size_bytes)
@@ -373,6 +377,12 @@ class ScProcess(OrderProcessBase):
             first_seq=batch.first_seq,
             n_requests=len(batch.entries),
         )
+        if trace.wants("batch_requests"):
+            trace.emit(
+                self.sim.now, "batch_requests", actor=self.name,
+                rank=batch.rank, batch_id=batch.batch_id,
+                keys=tuple((entry.client, entry.req_id) for entry in batch.entries),
+            )
         signed = self.make_signed(batch)
         self.proposed[batch.first_seq] = batch
         if self.paired:

@@ -44,7 +44,9 @@ from repro.harness.metrics import linear_fit
 from repro.harness.probes import ProbeContext, ProbeReport, merged_values
 from repro.harness.report import render_series, render_table
 from repro.harness.runner import (
+    SCENARIO,
     PointResult,
+    SweepTask,
     default_executor,
     execute,
     f3_grid,
@@ -59,12 +61,17 @@ from repro.harness.sweeps import (
     BACKLOG_BATCHES,
     F3_INTERVALS,
     F3_PROTOCOLS,
+    F3POP_CLIENTS,
+    F3POP_DURATION,
+    F3POP_RATE,
     FAILOVER_PROTOCOLS,
     ORDER_PROTOCOLS,
     PAPER_INTERVALS,
     PAPER_SCHEME_NAMES,
     QUICK_BACKLOG_BATCHES,
     QUICK_F3_INTERVALS,
+    QUICK_F3POP_CLIENTS,
+    QUICK_F3POP_DURATION,
     QUICK_INTERVALS,
 )
 from repro.harness.workload import OpenLoopWorkload, saturating_rate
@@ -392,7 +399,12 @@ def f3_scaling(
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
-FIGURES = ("fig4", "fig5", "fig6", "f3")
+FIGURES = ("fig4", "fig5", "fig6", "f3", "f3pop")
+#: Figures the suite runs (and gates) by default.  ``f3pop`` is
+#: opt-in: its points are population scenarios with their own probe
+#: set, and its baseline history starts from the dedicated CI step
+#: rather than the committed paper baselines.
+SUITE_FIGURES = ("fig4", "fig5", "fig6", "f3")
 
 
 #: Metrics each figure's tables/series read.  A ``--probes``
@@ -404,6 +416,52 @@ FIGURE_METRICS = {
     "fig6": ("failover_latency", "observed_backlog_bytes"),
     "f3": ("latency_mean",),
 }
+
+#: Probes fixed on every f3pop point's ScenarioSpec.
+F3POP_PROBES = ("client-fairness", "queue-depth", "crypto-cost")
+
+
+def f3pop_spec(clients: int, seed: int = 1, quick: bool = False):
+    """One population-scaling point: fixed aggregate rate, Zipf ids."""
+    from repro.harness.population import PopulationSpec
+    from repro.harness.scenario import ScenarioSpec, WorkloadSpec
+
+    return ScenarioSpec(
+        name=f"f3pop-c{clients}",
+        protocol="sc",
+        seed=seed,
+        duration=QUICK_F3POP_DURATION if quick else F3POP_DURATION,
+        drain=2.0,
+        workload=WorkloadSpec(rate=F3POP_RATE),
+        population=PopulationSpec(clients=clients, id_distribution="zipf"),
+        probes=F3POP_PROBES,
+        description=(
+            f"population scaling at {F3POP_RATE:g} req/s aggregate over "
+            f"{clients:,} Zipf-sampled clients"
+        ),
+    )
+
+
+def f3pop_grid(clients_list, seed: int = 1, quick: bool = False) -> list[SweepTask]:
+    """The f3pop sweep: one scenario task per population size.
+
+    Every point offers the *same* fixed aggregate rate; only
+    ``population.clients`` varies — so identical event counts across
+    the sweep are themselves the O(events) claim, and wall-time parity
+    is the measured proof.
+    """
+    return [
+        SweepTask(
+            kind=SCENARIO,
+            protocol=spec.protocol,
+            scheme=spec.scheme,
+            f=spec.f,
+            seed=seed,
+            calibration=spec.net.calibration,
+            scenario=spec,
+        )
+        for spec in (f3pop_spec(c, seed=seed, quick=quick) for c in clients_list)
+    ]
 
 
 def _require_figure_metrics(figure: str, probes: tuple[str, ...]) -> None:
@@ -429,6 +487,23 @@ def _figure_tasks(figure: str, quick: bool, seed: int, probes=None,
     ``probes`` overrides every point's probe selection (``None`` keeps
     each experiment's paper defaults); ``fast_crypto`` requests
     cost-model-only crypto for every point."""
+    if figure == "f3pop":
+        # f3pop points are scenarios: probe selection and crypto mode
+        # live on the ScenarioSpec, not the task.
+        if probes is not None:
+            raise ConfigError(
+                "f3pop points are scenarios with a fixed probe set "
+                f"({', '.join(F3POP_PROBES)}); --probes does not apply"
+            )
+        if fast_crypto:
+            raise ConfigError(
+                "f3pop points are scenarios; scenario tasks do not "
+                "support --fast-crypto"
+            )
+        return f3pop_grid(
+            QUICK_F3POP_CLIENTS if quick else F3POP_CLIENTS,
+            seed=seed, quick=quick,
+        )
     if figure in FIGURES and probes is not None:
         _require_figure_metrics(figure, probes)
     if figure in ("fig4", "fig5"):
@@ -539,6 +614,28 @@ def _render_figure(figure: str, results: list[PointResult]) -> None:
                 slope, intercept, r2 = linear_fit(xs, ys)
                 print(f"  {protocol}: latency ≈ {slope*1e3:.2f} ms/KB × size "
                       f"+ {intercept*1e3:.2f} ms  (r² = {r2:.3f})")
+    elif figure == "f3pop":
+        rows = []
+        for p in sorted(results, key=lambda p: p.task.x):
+            m = p.result.metrics()
+            rows.append((
+                f"{int(p.task.x):,}",
+                str(p.result.requests_issued),
+                str(p.result.requests_committed),
+                f"{p.result.latency_mean * 1e3:.1f}",
+                f"{m.get('client-fairness.fairness_jain', 0.0):.3f}",
+                f"{m.get('queue-depth.queue_depth_p95', 0.0):.0f}",
+                f"{p.result.events_processed:,}",
+                f"{p.wall_time:.2f}",
+            ))
+        print(render_table(
+            "f3pop — population scaling at fixed aggregate rate "
+            "(cost is O(events): the events column must not grow with "
+            "clients)",
+            ("clients", "issued", "committed", "latency (ms)",
+             "fairness", "queue p95", "events", "wall (s)"),
+            rows,
+        ))
     else:
         grouped = group_series(
             results,
@@ -589,10 +686,15 @@ def _cmd_figure(figure: str, args) -> int:
     )
     wall = time.perf_counter() - started
     if args.json_dir:
-        artifact = from_results(
-            figure, results,
-            params=_sweep_params(args, figure, executor), wall_time_s=wall,
-        )
+        params = _sweep_params(args, figure, executor)
+        if figure == "f3pop":
+            # Every point records its seeded arrival-stream fingerprint:
+            # a loopback `repro load --population` run with the same
+            # seed must reproduce these digests bit for bit.
+            params["stream_digests"] = {
+                p.task.point_id: p.result.stream_digest for p in results
+            }
+        artifact = from_results(figure, results, params=params, wall_time_s=wall)
         path = write_artifact(artifact, args.json_dir)
         print(f"wrote {path}", file=sys.stderr)
     _render_figure(figure, results)
@@ -811,8 +913,9 @@ def main(argv: list[str] | None = None) -> int:
         "suite", help="run figure sweeps and emit BENCH_*.json artifacts"
     )
     _add_sweep_options(suite, json_dir_default="out")
-    suite.add_argument("--figures", default=",".join(FIGURES),
-                       help="comma-separated subset (default: all)")
+    suite.add_argument("--figures", default=",".join(SUITE_FIGURES),
+                       help="comma-separated subset (default: "
+                            f"{','.join(SUITE_FIGURES)}; f3pop is opt-in)")
     suite.add_argument("--no-progress", action="store_true",
                        help="suppress per-point progress lines")
     from repro.harness.baseline import DEFAULT_TOLERANCE_PCT

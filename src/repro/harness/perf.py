@@ -344,9 +344,17 @@ def cmd_perf_compare(args) -> int:
     for ``$GITHUB_STEP_SUMMARY``) and exits 1 on a sustained
     regression.
     """
-    records = load_history(args.history)
-    if not records:
-        print(f"no perf records under {args.history}; gate passes")
+    directory = Path(args.history)
+    if not directory.is_dir():
+        # First run on a fresh branch/cache: not an error, just no
+        # baseline to trend against yet.
+        print(f"no perf history at {directory}: no trend yet — gate passes")
+        return 0
+    records = load_history(directory)
+    if len(records) < 2:
+        count = f"{len(records)} perf record(s)"
+        print(f"{count} under {directory}: no trend yet — gate passes "
+              f"(need at least 2 records to compare)")
         return 0
     eps = [_record_eps(r) for r in records]
     ok, why = trend_verdict(eps, tolerance_pct=args.tolerance,

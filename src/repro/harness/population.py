@@ -1,0 +1,507 @@
+"""Aggregated population workload model: O(events), not O(clients).
+
+The paper's open-loop driver (:class:`~repro.harness.workload.
+OpenLoopWorkload`) models every client individually, so population
+size — not event rate — caps scenario scale.  This module inverts
+that: a declarative :class:`PopulationSpec` describes *how many*
+clients exist and how load is composed, and :func:`population_stream`
+superposes the per-class arrival streams into one merged event stream,
+sampling the issuing client id **at delivery time**.  A million-client
+day therefore costs exactly as much as its event count.
+
+Building blocks:
+
+* :class:`ClassSpec` — one traffic class: a share of the aggregate
+  rate plus an inter-arrival law (``poisson``, ``uniform``, or
+  bounded-``pareto`` for heavy-tailed gaps).
+* :class:`EnvelopeSpec` — a piecewise-linear rate envelope (diurnal
+  curves, flash crowds) applied through *thinning*: candidates are
+  generated at the peak rate and accepted with probability
+  ``factor(t) / max_factor``, so draws stay deterministic per seed and
+  a flat envelope is bit-identical to no envelope at the peak rate.
+* :class:`ZipfSampler` — rejection-inversion Zipf sampling (Hörmann &
+  Derflinger) in O(1) memory: no CDF table over 10^6 ids.
+* :func:`population_stream` — the merged ``(time, class, client_id)``
+  stream, reproducible from a :class:`~repro.sim.rng.RngRegistry`
+  seed, so the simulator and the live TCP driver replay the **same**
+  schedule (checked via :class:`StreamDigest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.harness.workload import arrival_times
+from repro.sim.rng import RngRegistry
+
+ID_DISTRIBUTIONS = ("uniform", "zipf")
+SPACINGS = ("poisson", "uniform", "pareto")
+
+#: RNG stream names, shared verbatim by sim and live drivers.
+ID_STREAM = "population:ids"
+
+
+def class_stream_name(class_name: str) -> str:
+    return f"population:{class_name}"
+
+
+# ---------------------------------------------------------------------------
+# Declarative spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """One traffic class inside a population.
+
+    ``share`` is a relative weight: the class emits
+    ``share / sum(shares)`` of the aggregate rate.  ``pareto`` spacing
+    draws bounded-Pareto inter-arrival gaps with tail index
+    ``pareto_alpha`` and upper bound ``pareto_cap`` × mean gap, scaled
+    so the mean gap still matches the class rate.
+    """
+
+    name: str
+    share: float = 1.0
+    spacing: str = "poisson"
+    pareto_alpha: float = 1.5
+    pareto_cap: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("population class needs a non-empty name")
+        if self.share <= 0:
+            raise ConfigError(f"class {self.name!r}: share must be > 0, got {self.share}")
+        if self.spacing not in SPACINGS:
+            raise ConfigError(
+                f"class {self.name!r}: spacing must be one of {SPACINGS}, "
+                f"got {self.spacing!r}"
+            )
+        if self.spacing == "pareto":
+            if self.pareto_alpha <= 0:
+                raise ConfigError(
+                    f"class {self.name!r}: pareto_alpha must be > 0, "
+                    f"got {self.pareto_alpha}"
+                )
+            if self.pareto_cap <= 1:
+                raise ConfigError(
+                    f"class {self.name!r}: pareto_cap must be > 1 (it bounds the "
+                    f"tail at cap × mean gap), got {self.pareto_cap}"
+                )
+
+
+@dataclass(frozen=True)
+class EnvelopeSpec:
+    """Piecewise-linear rate envelope: ``(time, factor)`` knots.
+
+    ``factor(t)`` interpolates linearly between knots and clamps to
+    the first/last factor outside the knot range.  Factors are
+    multipliers on the class rate; the peak factor defines the
+    candidate rate for thinning.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigError("envelope needs at least one (time, factor) point")
+        times = [t for t, _ in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigError("envelope times must be strictly increasing")
+        if any(factor < 0 for _, factor in self.points):
+            raise ConfigError("envelope factors must be >= 0")
+        if max(factor for _, factor in self.points) <= 0:
+            raise ConfigError("envelope needs at least one factor > 0")
+
+    @property
+    def max_factor(self) -> float:
+        return max(factor for _, factor in self.points)
+
+    def factor(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        for (t0, f0), (t1, f1) in zip(points, points[1:]):
+            if t0 <= t <= t1:
+                return f0 + (f1 - f0) * (t - t0) / (t1 - t0)
+        raise AssertionError("unreachable: t inside knot range")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Declarative client population for aggregated workloads."""
+
+    clients: int
+    id_distribution: str = "uniform"
+    zipf_s: float = 1.1
+    classes: tuple[ClassSpec, ...] = field(
+        default_factory=lambda: (ClassSpec(name="all"),)
+    )
+    envelope: EnvelopeSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigError(f"population clients must be >= 1, got {self.clients}")
+        if self.id_distribution not in ID_DISTRIBUTIONS:
+            raise ConfigError(
+                f"id_distribution must be one of {ID_DISTRIBUTIONS}, "
+                f"got {self.id_distribution!r}"
+            )
+        if self.id_distribution == "zipf" and self.zipf_s <= 0:
+            raise ConfigError(f"zipf_s must be > 0, got {self.zipf_s}")
+        if not self.classes:
+            raise ConfigError("population needs at least one traffic class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate population class names: {names}")
+
+    def class_rates(self, aggregate_rate: float) -> dict[str, float]:
+        """Split an aggregate request rate across classes by share."""
+        if aggregate_rate <= 0:
+            raise ConfigError(f"aggregate rate must be > 0, got {aggregate_rate}")
+        total = sum(cls.share for cls in self.classes)
+        return {cls.name: aggregate_rate * cls.share / total for cls in self.classes}
+
+
+# --- dict round-trip (JSON/TOML spec files) --------------------------------
+
+
+def _check_keys(data: dict, allowed: tuple[str, ...], where: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigError(f"unknown key(s) in {where}: {', '.join(unknown)}")
+
+
+def population_from_dict(data: dict, where: str = "population") -> PopulationSpec:
+    if not isinstance(data, dict):
+        raise ConfigError(f"{where} must be a table/object")
+    _check_keys(
+        data, ("clients", "id_distribution", "zipf_s", "classes", "envelope"), where
+    )
+    if "clients" not in data:
+        raise ConfigError(f"{where} needs a 'clients' count")
+    kwargs: dict = {"clients": int(data["clients"])}
+    if "id_distribution" in data:
+        kwargs["id_distribution"] = str(data["id_distribution"])
+    if "zipf_s" in data:
+        kwargs["zipf_s"] = float(data["zipf_s"])
+    if "classes" in data:
+        classes = []
+        for i, entry in enumerate(data["classes"]):
+            cls_where = f"{where}.classes[{i}]"
+            if not isinstance(entry, dict):
+                raise ConfigError(f"{cls_where} must be a table/object")
+            _check_keys(
+                entry,
+                ("name", "share", "spacing", "pareto_alpha", "pareto_cap"),
+                cls_where,
+            )
+            if "name" not in entry:
+                raise ConfigError(f"{cls_where} needs a 'name'")
+            classes.append(
+                ClassSpec(
+                    name=str(entry["name"]),
+                    share=float(entry.get("share", 1.0)),
+                    spacing=str(entry.get("spacing", "poisson")),
+                    pareto_alpha=float(entry.get("pareto_alpha", 1.5)),
+                    pareto_cap=float(entry.get("pareto_cap", 50.0)),
+                )
+            )
+        kwargs["classes"] = tuple(classes)
+    if "envelope" in data and data["envelope"] is not None:
+        env = data["envelope"]
+        if not isinstance(env, dict):
+            raise ConfigError(f"{where}.envelope must be a table/object")
+        _check_keys(env, ("points",), f"{where}.envelope")
+        points = tuple(
+            (float(t), float(factor)) for t, factor in env.get("points", ())
+        )
+        kwargs["envelope"] = EnvelopeSpec(points=points)
+    return PopulationSpec(**kwargs)
+
+
+def population_to_dict(spec: PopulationSpec) -> dict:
+    data: dict = {
+        "clients": spec.clients,
+        "id_distribution": spec.id_distribution,
+        "classes": [
+            {
+                "name": cls.name,
+                "share": cls.share,
+                "spacing": cls.spacing,
+                **(
+                    {"pareto_alpha": cls.pareto_alpha, "pareto_cap": cls.pareto_cap}
+                    if cls.spacing == "pareto"
+                    else {}
+                ),
+            }
+            for cls in spec.classes
+        ],
+    }
+    if spec.id_distribution == "zipf":
+        data["zipf_s"] = spec.zipf_s
+    if spec.envelope is not None:
+        data["envelope"] = {"points": [list(p) for p in spec.envelope.points]}
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Client-id sampling
+# ---------------------------------------------------------------------------
+
+
+class ZipfSampler:
+    """Zipf(s) sampling over ``{1..n}`` by rejection inversion.
+
+    Hörmann & Derflinger's O(1)-memory sampler (the scheme behind
+    commons-math's ``RejectionInversionZipfSampler``): invert the
+    integral of the dominating hat function, then accept/reject.  No
+    CDF table is materialised, so ``n = 10^6`` costs the same as
+    ``n = 10``.
+    """
+
+    def __init__(self, n: int, s: float) -> None:
+        if n < 1:
+            raise ConfigError(f"zipf support size must be >= 1, got {n}")
+        if s <= 0:
+            raise ConfigError(f"zipf exponent must be > 0, got {s}")
+        self.n = n
+        self.s = s
+        self._h_x1 = self._h_integral(1.5) - 1.0
+        self._h_n = self._h_integral(n + 0.5)
+        self._threshold = 2.0 - self._h_integral_inverse(
+            self._h_integral(2.5) - self._h(2.0)
+        )
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.s * math.log(x))
+
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        return _helper((1.0 - self.s) * log_x) * log_x
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.s)
+        if t < -1.0:
+            t = -1.0  # guard rounding at the support edge
+        return math.exp(_helper_inverse(t) * x)
+
+    def sample(self, rng) -> int:
+        while True:
+            u = self._h_n + rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.n:
+                k = self.n
+            if (k - x <= self._threshold) or (
+                u >= self._h_integral(k + 0.5) - self._h(float(k))
+            ):
+                return k
+
+
+def _helper(x: float) -> float:
+    """``(exp(x) - 1) / x`` with a stable small-x expansion."""
+    if abs(x) > 1e-8:
+        return math.expm1(x) / x
+    return 1.0 + x / 2.0 * (1.0 + x / 3.0 * (1.0 + x / 4.0))
+
+
+def _helper_inverse(x: float) -> float:
+    """``log(1 + x) / x`` with a stable small-x expansion."""
+    if abs(x) > 1e-8:
+        return math.log1p(x) / x
+    return 1.0 - x / 2.0 * (1.0 - (2.0 * x) / 3.0 * (1.0 - (3.0 * x) / 4.0))
+
+
+def make_id_sampler(spec: PopulationSpec):
+    """A ``sample(rng) -> id`` callable for the spec's id distribution."""
+    if spec.id_distribution == "zipf":
+        return ZipfSampler(spec.clients, spec.zipf_s).sample
+    n = spec.clients
+    return lambda rng: rng.randrange(1, n + 1)
+
+
+# ---------------------------------------------------------------------------
+# Heavy-tailed gaps
+# ---------------------------------------------------------------------------
+
+
+def _bounded_pareto_mean(low: float, high: float, alpha: float) -> float:
+    if alpha == 1.0:
+        return low * high / (high - low) * math.log(high / low)
+    return (
+        (low**alpha / (1.0 - (low / high) ** alpha))
+        * (alpha / (alpha - 1.0))
+        * (low ** (1.0 - alpha) - high ** (1.0 - alpha))
+    )
+
+
+def bounded_pareto_params(mean: float, alpha: float, cap: float) -> tuple[float, float]:
+    """``(low, high)`` for a bounded Pareto with the requested mean.
+
+    ``high = cap × mean``; ``low`` is solved by bisection (the mean is
+    monotone increasing in ``low``) so the gap distribution matches
+    the class rate exactly despite the truncation.
+    """
+    high = cap * mean
+    lo, hi = mean * 1e-12, mean
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _bounded_pareto_mean(mid, high, alpha) < mean:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi), high
+
+
+def _class_arrivals(
+    cls: ClassSpec,
+    rate: float,
+    duration: float,
+    rng,
+    envelope: EnvelopeSpec | None,
+    start: float,
+) -> Iterator[float]:
+    """Arrival times for one class in ``[start, start + duration)``.
+
+    Without an envelope, ``poisson``/``uniform`` spacing defers to
+    :func:`~repro.harness.workload.arrival_times` verbatim, so a
+    single-class population is bit-identical to the per-client model's
+    stream (superposition equivalence is tested on this).  With an
+    envelope, candidates are generated at the peak rate and thinned:
+    the gap is drawn *before* the acceptance draw, so a flat envelope
+    degenerates to the plain stream plus one extra draw per event.
+    """
+    if cls.spacing == "pareto":
+        # Thinning candidates must come in at the peak rate.
+        peak = rate if envelope is None else rate * envelope.max_factor
+        low, high = bounded_pareto_params(1.0 / peak, cls.pareto_alpha, cls.pareto_cap)
+        tail = 1.0 - (low / high) ** cls.pareto_alpha
+        inv_alpha = -1.0 / cls.pareto_alpha
+
+        def gap() -> float:
+            return low * (1.0 - rng.random() * tail) ** inv_alpha
+
+    elif envelope is not None:
+        peak = rate * envelope.max_factor
+        if cls.spacing == "poisson":
+            def gap() -> float:
+                return rng.expovariate(peak)
+        else:
+            mean_gap = 1.0 / peak
+
+            def gap() -> float:
+                return mean_gap
+
+    else:
+        yield from arrival_times(
+            rate,
+            duration,
+            spacing=cls.spacing,
+            rng=rng if cls.spacing == "poisson" else None,
+            start=start,
+        )
+        return
+
+    if envelope is None:
+        t = start
+        while True:
+            t += gap()
+            if t - start >= duration:
+                return
+            yield t
+    else:
+        max_factor = envelope.max_factor
+        t = start
+        while True:
+            t += gap()
+            if t - start >= duration:
+                return
+            # Thinning: gap first, acceptance second, both from the
+            # class stream — deterministic per seed.
+            if rng.random() * max_factor < envelope.factor(t - start):
+                yield t
+
+
+# ---------------------------------------------------------------------------
+# The merged stream
+# ---------------------------------------------------------------------------
+
+
+def population_stream(
+    population: PopulationSpec,
+    aggregate_rate: float,
+    duration: float,
+    registry: RngRegistry,
+    start: float = 0.0,
+) -> Iterator[tuple[float, str, int]]:
+    """Yield ``(time, class_name, client_id)`` in merged time order.
+
+    Per-class streams draw from ``registry.stream("population:<name>")``
+    and client ids from ``registry.stream("population:ids")`` in merged
+    order, so the whole schedule is a pure function of the registry
+    seed — the simulator and the live driver construct identical
+    streams (see :class:`StreamDigest`).
+    """
+    rates = population.class_rates(aggregate_rate)
+    id_rng = registry.stream(ID_STREAM)
+    sample_id = make_id_sampler(population)
+    heads: list[tuple[float, int, str, Iterator[float]]] = []
+    for index, cls in enumerate(population.classes):
+        stream = _class_arrivals(
+            cls,
+            rates[cls.name],
+            duration,
+            registry.stream(class_stream_name(cls.name)),
+            population.envelope,
+            start,
+        )
+        first = next(stream, None)
+        if first is not None:
+            heads.append((first, index, cls.name, stream))
+    heapq.heapify(heads)
+    while heads:
+        t, index, name, stream = heads[0]
+        yield t, name, sample_id(id_rng)
+        nxt = next(stream, None)
+        if nxt is None:
+            heapq.heappop(heads)
+        else:
+            heapq.heapreplace(heads, (nxt, index, name, stream))
+
+
+class StreamDigest:
+    """Incremental fingerprint of a ``(time, class, client_id)`` stream.
+
+    Feeds ``repr(float)`` so the digest is exact (no rounding ties):
+    two streams match iff every event is bit-identical.  Used to prove
+    the sim schedule and the live TCP replay saw the same arrivals.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.events = 0
+
+    def update(self, t: float, class_name: str, client_id: int) -> None:
+        self._hash.update(f"{t!r}|{class_name}|{client_id}\n".encode())
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()[:16]
+
+
+def stream_digest(events: Iterable[tuple[float, str, int]]) -> str:
+    """Digest a full event stream (convenience over :class:`StreamDigest`)."""
+    digest = StreamDigest()
+    for t, name, cid in events:
+        digest.update(t, name, cid)
+    return digest.hexdigest()

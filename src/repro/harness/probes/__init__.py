@@ -46,23 +46,31 @@ from repro.harness.probes.registry import (
     validate_names,
 )
 
-# Importing the modules registers the paper's probes and the live
-# recovery-timeline probe.
+# Importing the modules registers the paper's probes, the live
+# recovery-timeline probe, and the population-scale probes.
 from repro.harness.probes.paper import (
     FailoverProbe,
     OrderLatencyProbe,
     ThroughputProbe,
 )
 from repro.harness.probes.recovery import RecoveryTimelineProbe
+from repro.harness.probes.scale import (
+    ClientFairnessProbe,
+    CryptoCostProbe,
+    QueueDepthProbe,
+)
 
 __all__ = [
     "any_needs_digests",
+    "ClientFairnessProbe",
+    "CryptoCostProbe",
     "FailoverProbe",
     "MetricSeries",
     "OrderLatencyProbe",
     "Probe",
     "ProbeContext",
     "ProbeReport",
+    "QueueDepthProbe",
     "RecoveryTimelineProbe",
     "ThroughputProbe",
     "all_probes",

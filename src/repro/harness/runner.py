@@ -135,10 +135,14 @@ class SweepTask:
 
     @property
     def x(self) -> float:
-        """The task's sweep-axis value (interval, backlog, or seed)."""
+        """The task's sweep-axis value (interval, backlog, or seed —
+        population scenarios sweep the client count)."""
         if self.kind == ORDER:
             return self.batching_interval
         if self.kind == SCENARIO:
+            population = getattr(self.scenario, "population", None)
+            if population is not None:
+                return float(population.clients)
             return float(self.seed)
         return float(self.backlog_batches)
 

@@ -56,9 +56,20 @@ from repro.harness.metrics import (
     latency_stats,
     throughput_per_process,
 )
+from repro.harness.population import (
+    ClassSpec,
+    EnvelopeSpec,
+    PopulationSpec,
+    population_from_dict,
+    population_to_dict,
+)
 from repro.harness.probes import Probe, ProbeContext
 from repro.harness.runner import resolve_calibration
-from repro.harness.workload import OpenLoopWorkload, saturating_rate
+from repro.harness.workload import (
+    AggregatedWorkload,
+    OpenLoopWorkload,
+    saturating_rate,
+)
 from repro.sim.trace import Tracer
 
 # ----------------------------------------------------------------------
@@ -154,6 +165,11 @@ class ScenarioSpec:
     seed: int = 1
     n_clients: int = 2
     workload: WorkloadSpec = WorkloadSpec()
+    #: Aggregated population model (see :mod:`repro.harness.population`):
+    #: when set, the per-client workload is replaced by one merged
+    #: arrival stream with client ids sampled at delivery time, so
+    #: scenario cost is O(events) regardless of ``population.clients``.
+    population: PopulationSpec | None = None
     faults: tuple[FaultSpec, ...] = ()
     net: NetSpec = NetSpec()
     config: tuple[tuple[str, object], ...] = ()
@@ -179,6 +195,18 @@ class ScenarioSpec:
         object.__setattr__(
             self, "probes", probe_registry.validate_names(self.probes)
         )
+        if self.population is not None:
+            if self.workload.bursts:
+                raise ConfigError(
+                    "population workloads model load phases with rate "
+                    "envelopes, not bursts"
+                )
+            if dict(self.config).get("send_replies"):
+                raise ConfigError(
+                    "population workloads sample client ids at delivery "
+                    "time; send_replies needs addressable per-client "
+                    "actors (drop send_replies or the population block)"
+                )
 
     def with_(self, **changes) -> "ScenarioSpec":
         """A copy with the given fields replaced (grid helper)."""
@@ -225,6 +253,9 @@ def spec_from_dict(data: dict) -> ScenarioSpec:
     net = data.pop("net", None)
     if net is not None:
         data["net"] = _build(NetSpec, net, "net")
+    population = data.pop("population", None)
+    if population is not None:
+        data["population"] = population_from_dict(population)
     overrides = data.pop("config", None)
     if overrides is not None:
         if not isinstance(overrides, dict):
@@ -248,7 +279,11 @@ def spec_to_dict(spec: ScenarioSpec) -> dict:
     ]
     data["config"] = spec.config_overrides()
     data["probes"] = list(spec.probes)
+    if spec.population is not None:
+        data["population"] = population_to_dict(spec.population)
     # Drop defaults that only add noise to dumped specs.
+    if spec.population is None:
+        del data["population"]
     if not spec.probes:
         del data["probes"]
     if spec.workload.rate is None:
@@ -345,6 +380,11 @@ class ScenarioResult:
     #: with — or silently shadow — a built-in scenario metric).
     probes: tuple[str, ...] = ()
     probe_metrics: tuple[tuple[str, float], ...] = ()
+    #: Fingerprint of the seeded population arrival stream (empty for
+    #: per-client workloads).  Like ``events_processed`` it stays out
+    #: of :meth:`metrics`; the live driver reproduces the same digest
+    #: from the same seed, proving sim/live stream identity.
+    stream_digest: str = ""
 
     def metrics(self) -> dict[str, float]:
         """Flat numeric view (artifact/runner shape)."""
@@ -366,9 +406,14 @@ class ScenarioResult:
         return out
 
 
-def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]:
+def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list]:
     """Materialise a spec: cluster built, workloads installed, faults
-    armed — ready for ``cluster.start()``."""
+    armed — ready for ``cluster.start()``.
+
+    With a ``population`` block the workload list holds a single
+    :class:`~repro.harness.workload.AggregatedWorkload` (no per-client
+    actors are built beyond the spec's ``n_clients``, which population
+    runs keep at the 2-client floor purely for cluster wiring)."""
     plugin = protocols.get(spec.protocol)
     config = plugin.configure(
         scheme=spec.scheme,
@@ -401,25 +446,35 @@ def build_scenario(spec: ScenarioSpec) -> tuple[Cluster, list[OpenLoopWorkload]]
             headroom=w.headroom,
         )
     )
-    workloads = [
-        OpenLoopWorkload(
-            cluster,
-            rate=rate,
-            duration=w.duration if w.duration is not None else spec.duration,
-            spacing=w.spacing,
+    if spec.population is not None:
+        workloads: list = [
+            AggregatedWorkload(
+                cluster,
+                spec.population,
+                rate=rate,
+                duration=w.duration if w.duration is not None else spec.duration,
+            )
+        ]
+    else:
+        workloads = [
+            OpenLoopWorkload(
+                cluster,
+                rate=rate,
+                duration=w.duration if w.duration is not None else spec.duration,
+                spacing=w.spacing,
+            )
+        ]
+        workloads.extend(
+            OpenLoopWorkload(
+                cluster,
+                rate=burst.rate,
+                duration=burst.duration,
+                start=burst.at,
+                spacing=w.spacing,
+                stream=f"workload:burst{i}",
+            )
+            for i, burst in enumerate(w.bursts, start=1)
         )
-    ]
-    workloads.extend(
-        OpenLoopWorkload(
-            cluster,
-            rate=burst.rate,
-            duration=burst.duration,
-            start=burst.at,
-            spacing=w.spacing,
-            stream=f"workload:burst{i}",
-        )
-        for i, burst in enumerate(w.bursts, start=1)
-    )
     for workload in workloads:
         workload.install()
 
@@ -456,13 +511,18 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     probes = _attach_probes(spec, cluster)
     cluster.start()
     cluster.run(until=spec.duration + spec.drain)
+    digest = next(
+        (w.stream_digest() for w in workloads if isinstance(w, AggregatedWorkload)),
+        "",
+    )
     return _measure(spec, cluster, issued=sum(w.issued for w in workloads),
-                    probes=probes)
+                    probes=probes, stream_digest=digest)
 
 
 def _measure(
     spec: ScenarioSpec, cluster: Cluster, issued: int,
     probes: tuple[Probe, ...] = (),
+    stream_digest: str = "",
 ) -> ScenarioResult:
     trace = cluster.sim.trace
     samples = collect_latencies(trace)
@@ -512,6 +572,7 @@ def _measure(
             for probe in probes
             for metric, value in probe.finalize().items()
         ),
+        stream_digest=stream_digest,
     )
 
 
@@ -608,6 +669,49 @@ BUILTIN_SCENARIOS: dict[str, ScenarioSpec] = {
             config=(("checkpoint_interval", 8), ("send_replies", True)),
             description="full SMR loop: execution replies to clients plus "
                         "periodic checkpoint garbage collection",
+        ),
+        ScenarioSpec(
+            name="diurnal-day",
+            protocol="sc",
+            duration=6.0,
+            drain=2.0,
+            workload=WorkloadSpec(rate=250.0),
+            population=PopulationSpec(
+                clients=1_000_000,
+                id_distribution="zipf",
+                zipf_s=1.1,
+                envelope=EnvelopeSpec(points=(
+                    (0.0, 0.35), (1.5, 1.0), (3.0, 0.55),
+                    (4.5, 1.0), (6.0, 0.25),
+                )),
+            ),
+            probes=("client-fairness", "queue-depth", "crypto-cost"),
+            description="a compressed day over 10^6 Zipf clients: two "
+                        "diurnal peaks via a thinned rate envelope",
+        ),
+        ScenarioSpec(
+            name="flash-crowd",
+            protocol="sc",
+            duration=5.0,
+            drain=3.0,
+            workload=WorkloadSpec(rate=200.0),
+            population=PopulationSpec(
+                clients=100_000,
+                id_distribution="zipf",
+                zipf_s=1.2,
+                classes=(
+                    ClassSpec(name="steady", share=3.0, spacing="poisson"),
+                    ClassSpec(name="crowd", share=1.0, spacing="pareto",
+                              pareto_alpha=1.5, pareto_cap=50.0),
+                ),
+                envelope=EnvelopeSpec(points=(
+                    (0.0, 0.3), (1.8, 0.3), (2.0, 3.0),
+                    (2.8, 3.0), (3.2, 0.3),
+                )),
+            ),
+            probes=("client-fairness", "queue-depth", "crypto-cost"),
+            description="steady Poisson base plus a heavy-tailed class; a "
+                        "10x flash-crowd spike between t=2.0 and t=2.8",
         ),
     )
 }

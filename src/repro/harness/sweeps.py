@@ -38,6 +38,16 @@ ORDER_PROTOCOLS = ("ct", "sc", "bft")
 FAILOVER_PROTOCOLS = ("sc", "scr")
 F3_PROTOCOLS = ("sc", "bft")
 
+#: Population-scaling figure (f3pop): client counts swept at a fixed
+#: aggregate rate — the point is that cost stays O(events) while the
+#: population grows four orders of magnitude.
+F3POP_CLIENTS = (100, 10_000, 1_000_000)
+QUICK_F3POP_CLIENTS = (100, 100_000)
+#: Fixed aggregate rate (req/s) and durations for the f3pop sweep.
+F3POP_RATE = 400.0
+F3POP_DURATION = 3.0
+QUICK_F3POP_DURATION = 1.5
+
 
 def series_table(title: str, series: dict[str, list[tuple[float, float]]],
                  xlabel: str, ylabel: str) -> str:

@@ -14,6 +14,18 @@ from issue to the ``f+1``-th matching reply.
 Prints per-run latency/throughput statistics as a JSON line, and with
 ``--json`` appends the raw per-request samples for ``repro compare
 --live``.
+
+With ``--population FILE`` the driver replays an *aggregated*
+population stream instead: the same
+:func:`repro.harness.population.population_stream` the simulator
+schedules from, seeded identically (``RngRegistry(seed)`` with the
+same stream names), so the arrival stream — times, classes and
+sampled client ids — is bit-identical to the simulated one for a
+shared seed (both sides publish a
+:class:`~repro.harness.population.StreamDigest`).  Requests carry the
+sampled virtual client id; the replicas learn a return route for each
+id from the connection it arrived on, and the driver's transport
+catches every reply regardless of which virtual id it addresses.
 """
 
 from __future__ import annotations
@@ -24,13 +36,20 @@ import json
 import random
 import sys
 import time
+from pathlib import Path
 
 from repro.core.replies import Reply, ReplyTracker
 from repro.core.requests import ClientRequest
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
+from repro.harness.population import (
+    StreamDigest,
+    population_from_dict,
+    population_stream,
+)
 from repro.harness.workload import arrival_times
 from repro.live.transport import LiveTransport
 from repro.net import framing
+from repro.sim.rng import RngRegistry
 
 #: How long after the last arrival the driver keeps collecting replies.
 DRAIN_GRACE = 2.0
@@ -52,6 +71,32 @@ class LoadClient:
             now = time.monotonic()
             if self.replies.note_reply(payload, now):
                 issued_at = self.issue_times.get(payload.req_id)
+                if issued_at is not None:
+                    self.latencies.append(now - issued_at)
+                    self.commit_times.append(now)
+
+
+class PopulationLoadClient:
+    """Reply sink for a population run: many virtual client ids, one
+    connection.  Installed as the transport's ``catch_all`` so replies
+    addressed to any sampled id land here; completion is tracked per
+    ``(client, req_id)`` by the same f+1 matching-reply rule."""
+
+    def __init__(self, name: str, f: int) -> None:
+        self.name = name
+        self.f = f
+        self.replies = ReplyTracker(f)
+        self.issue_times: dict[tuple[str, int], float] = {}
+        self.latencies: list[float] = []
+        self.commit_times: list[float] = []
+
+    def on_message(self, sender: str, payload) -> None:
+        if isinstance(payload, Reply):
+            now = time.monotonic()
+            if self.replies.note_reply(payload, now):
+                issued_at = self.issue_times.pop(
+                    (payload.client, payload.req_id), None
+                )
                 if issued_at is not None:
                     self.latencies.append(now - issued_at)
                     self.commit_times.append(now)
@@ -92,11 +137,42 @@ def percentile(values: list[float], q: float) -> float:
     return ordered[idx]
 
 
+def load_population(path: str | Path):
+    """A :class:`~repro.harness.population.PopulationSpec` from a JSON
+    or TOML file — either a bare population block or a document with a
+    ``population`` key (a scenario spec file works verbatim)."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"population file not found: {path}")
+    if path.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"bad TOML in {path}: {exc}") from None
+    elif path.suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad JSON in {path}: {exc}") from None
+    else:
+        raise ConfigError(
+            f"unknown population file type {path.suffix!r} (use .json or .toml)"
+        )
+    if isinstance(data.get("population"), dict):
+        data = data["population"]
+    return population_from_dict(data)
+
+
 async def run_load(args) -> int:
     auth_key = framing.resolve_auth_key(args.auth_key)
     spec = await fetch_spec(args.control, auth_key)
     replicas = sorted(spec["addresses"])
     request_bytes = int(spec.get("request_bytes", 64))
+
+    if args.population is not None:
+        return await run_population_load(args, spec, auth_key, request_bytes)
 
     client = LoadClient(args.client_id, spec["f"])
     transport = LiveTransport(
@@ -107,7 +183,7 @@ async def run_load(args) -> int:
     transport.attach(client)
     transport.host(args.client_id)
 
-    rng = random.Random(args.seed)
+    rng = random.Random(args.seed) if args.spacing == "poisson" else None
     schedule = list(arrival_times(args.rate, args.duration, args.spacing, rng))
     start = time.monotonic()
     next_id = 1
@@ -157,6 +233,143 @@ async def run_load(args) -> int:
     return 0
 
 
+async def run_population_load(
+    args, spec: dict, auth_key: bytes | None, request_bytes: int
+) -> int:
+    """Replay a seeded population stream over the live cluster.
+
+    Mirrors the simulator's ``AggregatedWorkload`` exactly: one merged
+    arrival stream built from ``RngRegistry(seed)``, one wire sender
+    (``--client-id``) multiplexing every sampled virtual client id, a
+    single pool-wide ``req_id`` counter, and an incremental digest of
+    the ``(t, class, client)`` events for sim/live cross-validation.
+    """
+    population = load_population(args.population)
+    replicas = sorted(spec["addresses"])
+
+    client = PopulationLoadClient(args.client_id, spec["f"])
+    transport = LiveTransport(
+        args.client_id,
+        addresses={name: tuple(addr) for name, addr in spec["addresses"].items()},
+        auth_key=auth_key,
+    )
+    transport.attach(client)
+    transport.host(args.client_id)
+    # Replies address virtual ids ("c42"), none of which is hosted
+    # here — the catch-all hands every one of them to the tracker.
+    transport.catch_all = client
+
+    registry = RngRegistry(args.seed)
+    digest = StreamDigest()
+    start = time.monotonic()
+    next_id = 1
+    for at, class_name, client_id in population_stream(
+        population, args.rate, args.duration, registry
+    ):
+        digest.update(at, class_name, client_id)
+        delay = (start + at) - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        name = f"c{client_id}"
+        request = ClientRequest(
+            client=name, req_id=next_id, size_bytes=request_bytes
+        )
+        client.issue_times[(name, next_id)] = time.monotonic()
+        next_id += 1
+        transport.multicast(
+            args.client_id, replicas, request, request.size_bytes
+        )
+    await asyncio.sleep(DRAIN_GRACE)
+    await transport.close()
+
+    issued = digest.events
+    committed = len(client.latencies)
+    elapsed = (
+        (client.commit_times[-1] - start) if client.commit_times else args.duration
+    )
+    latencies = client.latencies
+    summary = {
+        "protocol": spec["protocol"],
+        "f": spec["f"],
+        "rate": args.rate,
+        "duration": args.duration,
+        "clients": population.clients,
+        "issued": issued,
+        "committed": committed,
+        "stream_digest": digest.hexdigest(),
+        "latency_mean_s": sum(latencies) / committed if committed else None,
+        "latency_p50_s": percentile(latencies, 0.50) if committed else None,
+        "latency_p95_s": percentile(latencies, 0.95) if committed else None,
+        "throughput_rps": committed / elapsed if elapsed > 0 else 0.0,
+    }
+    if args.bench_dir:
+        path = write_population_artifact(
+            summary, spec, args, population, digest, elapsed
+        )
+        summary["artifact"] = str(path)
+    print(json.dumps(summary, sort_keys=True), flush=True)
+    if committed == 0 and issued > 0:
+        print("load: no request ever committed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def write_population_artifact(
+    summary: dict, spec: dict, args, population, digest: StreamDigest,
+    elapsed: float,
+):
+    """One schema-v3 ``BENCH_f3pop.json`` point for a live run, shaped
+    like the simulated figure's points (x = population size) so the
+    comparator and the CI gate read both the same way."""
+    from repro.harness import artifact as artifact_mod
+
+    metrics = {
+        "issued": float(summary["issued"]),
+        "committed": float(summary["committed"]),
+        "throughput": float(summary["throughput_rps"]),
+    }
+    for key, name in (
+        ("latency_mean_s", "latency_mean"),
+        ("latency_p50_s", "latency_p50"),
+        ("latency_p95_s", "latency_p95"),
+    ):
+        if summary[key] is not None:
+            metrics[name] = float(summary[key])
+    point = {
+        "id": f"live-population/{spec['protocol']}/"
+              f"c{population.clients}/s{args.seed}",
+        "kind": "live-population",
+        "protocol": spec["protocol"],
+        "scheme": spec["scheme"],
+        "f": spec["f"],
+        "x": float(population.clients),
+        "probes": [],
+        "metrics": metrics,
+        "wall_time_s": float(elapsed),
+        "events": int(summary["issued"]),
+        "events_per_second": (
+            summary["issued"] / elapsed if elapsed > 0 else 0.0
+        ),
+    }
+    doc = artifact_mod.from_points(
+        figure="f3pop",
+        points=[point],
+        params={
+            "runtime": "live",
+            "protocol": spec["protocol"],
+            "scheme": spec["scheme"],
+            "f": spec["f"],
+            "seed": args.seed,
+            "rate": args.rate,
+            "duration": args.duration,
+            "clients": population.clients,
+            "stream_digest": digest.hexdigest(),
+        },
+        wall_time_s=float(elapsed),
+    )
+    return artifact_mod.write_artifact(doc, args.bench_dir)
+
+
 def add_load_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--control", default="127.0.0.1:7600",
                         metavar="HOST:PORT",
@@ -175,6 +388,13 @@ def add_load_arguments(parser: argparse.ArgumentParser) -> None:
                         help=f"pre-shared handshake key (or ${framing.AUTH_KEY_ENV})")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="also write summary + raw samples to FILE")
+    parser.add_argument("--population", default=None, metavar="FILE",
+                        help="replay an aggregated population stream from a "
+                             "JSON/TOML population block (or a scenario spec "
+                             "file with one) instead of a single-client stream")
+    parser.add_argument("--bench-dir", default=None, metavar="DIR",
+                        help="with --population: write a schema-v3 "
+                             "BENCH_f3pop.json point into DIR")
 
 
 def cmd_load(args) -> int:

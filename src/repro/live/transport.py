@@ -86,6 +86,11 @@ class LiveTransport:
         # clock it reads (cluster time); None = clean network.
         self.chaos = None
         self.clock: Callable[[], float] = lambda: 0.0
+        # Fallback actor for inbound msg frames whose dest is not
+        # hosted here.  A population load driver issues requests under
+        # many virtual client names over one connection; hosting each
+        # would be O(population), so it catches every reply instead.
+        self.catch_all: Any = None
 
     # ------------------------------------------------------------------
     # Topology (the Network surface plugin builds touch)
@@ -189,8 +194,11 @@ class LiveTransport:
         except (framing.PeerLost, framing.AuthenticationError, OSError):
             pass
         finally:
-            if peer is not None and self._routes.get(peer) is writer:
-                del self._routes[peer]
+            # Drop every route pointing at this connection — the hello
+            # name plus any virtual-client aliases learned from it.
+            stale = [n for n, w in self._routes.items() if w is writer]
+            for name in stale:
+                del self._routes[name]
             writer.close()
 
     def _note_activity(self, peer: str) -> None:
@@ -207,10 +215,27 @@ class LiveTransport:
                 return
             _, sender, dest, payload = frame
             if dest not in self._hosted:
+                if self.catch_all is not None:
+                    self.frames_delivered += 1
+                    self.catch_all.on_message(sender, payload)
                 return  # misrouted or for a mirror: not ours to handle
             actor = self._actors.get(dest)
             if actor is None:
                 return
+            # Virtual-client alias: a request whose declared client is
+            # not the connection's hello name (a population driver
+            # multiplexing many sampled ids over one connection) makes
+            # that id routable back over the same connection, so
+            # replies to it reach the driver.
+            if writer is not None:
+                client = getattr(payload, "client", None)
+                if (
+                    client is not None
+                    and client != sender
+                    and client not in self._routes
+                    and client not in self.addresses
+                ):
+                    self._routes[client] = writer
             self.frames_delivered += 1
             actor.on_message(sender, payload)
             return

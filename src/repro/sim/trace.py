@@ -78,6 +78,18 @@ class Tracer:
         if retain:
             self.records.append(record)
 
+    def wants(self, kind: str) -> bool:
+        """Whether an :meth:`emit` of ``kind`` would reach anything.
+
+        Emitters on hot paths guard with this before *building* their
+        field values (``emit`` skips the record, but the call site's
+        kwargs are evaluated regardless), so per-event instrumentation
+        like ``crypto_op`` costs one method call when unmeasured.
+        """
+        if self._keep_kinds is not None and kind not in self._keep_kinds:
+            return bool(self._subscribers) or kind in self._kind_subscribers
+        return True
+
     def subscribe(
         self,
         callback: Callable[[TraceRecord], None],

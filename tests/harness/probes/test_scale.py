@@ -1,0 +1,96 @@
+"""The population-scale probes: fairness, queue depth, crypto cost."""
+
+import pytest
+
+from repro.harness.population import PopulationSpec
+from repro.harness.probes import get
+from repro.harness.probes.scale import _PHASE_NAMES, _percentile
+from repro.harness.scenario import (
+    BUILTIN_SCENARIOS,
+    ScenarioSpec,
+    WorkloadSpec,
+    run_scenario,
+)
+
+SCALE_PROBES = ("client-fairness", "queue-depth", "crypto-cost")
+
+
+@pytest.fixture(scope="module")
+def scale_result():
+    spec = ScenarioSpec(
+        name="scale-probe-smoke",
+        protocol="sc",
+        duration=1.5,
+        drain=1.5,
+        workload=WorkloadSpec(rate=300.0),
+        population=PopulationSpec(
+            clients=50_000, id_distribution="zipf", zipf_s=1.2
+        ),
+        probes=SCALE_PROBES,
+    )
+    return run_scenario(spec)
+
+
+def test_scale_probes_are_registered():
+    for name in SCALE_PROBES:
+        assert get(name).name == name
+
+
+def test_fairness_metrics(scale_result):
+    metrics = scale_result.metrics()
+    observed = metrics["client-fairness.clients_observed"]
+    jain = metrics["client-fairness.fairness_jain"]
+    assert observed > 0
+    # Jain's index lies in (1/n, 1]; commit latencies under one
+    # coordinator are broadly similar, so expect the high end.
+    assert 0.0 < jain <= 1.0 + 1e-9
+    assert jain > 0.5
+    assert metrics["client-fairness.client_latency_mean"] > 0.0
+    assert metrics["client-fairness.client_p95_over_p50"] >= 1.0
+
+
+def test_queue_depth_metrics(scale_result):
+    metrics = scale_result.metrics()
+    assert (
+        metrics["queue-depth.queue_depth_max"]
+        >= metrics["queue-depth.queue_depth_p95"]
+        >= metrics["queue-depth.queue_depth_mean"]
+        >= 0.0
+    )
+    assert metrics["queue-depth.queue_depth_max"] > 0.0
+
+
+def test_crypto_cost_metrics(scale_result):
+    metrics = scale_result.metrics()
+    assert metrics["crypto-cost.sign_ops"] > 0
+    assert metrics["crypto-cost.verify_ops"] > 0
+    assert metrics["crypto-cost.sign_cost_s"] > 0.0
+    assert metrics["crypto-cost.verify_cost_s"] > 0.0
+    # Phase attribution is exhaustive: the phase buckets sum to the
+    # total modelled crypto cost.
+    total = metrics["crypto-cost.sign_cost_s"] + metrics["crypto-cost.verify_cost_s"]
+    phases = sum(metrics[f"crypto-cost.cost_{p}_s"] for p in _PHASE_NAMES)
+    assert phases == pytest.approx(total)
+    # A clean run spends nothing on failover.
+    assert metrics["crypto-cost.cost_failover_s"] == 0.0
+
+
+def test_fairness_memory_is_bounded_by_observed_clients(scale_result):
+    """50k-id Zipf population, ~450 requests: the probe must have seen
+    far fewer distinct clients than the population size."""
+    metrics = scale_result.metrics()
+    assert metrics["client-fairness.clients_observed"] <= 450
+
+
+def test_builtin_population_scenarios_select_the_scale_probes():
+    for name in ("diurnal-day", "flash-crowd"):
+        assert set(SCALE_PROBES) <= set(BUILTIN_SCENARIOS[name].probes)
+
+
+def test_percentile_nearest_rank():
+    assert _percentile([], 0.95) == 0.0
+    assert _percentile([5.0], 0.5) == 5.0
+    ordered = [float(i) for i in range(1, 101)]
+    assert _percentile(ordered, 0.0) == 1.0
+    assert _percentile(ordered, 1.0) == 100.0
+    assert _percentile(ordered, 0.5) == 51.0  # round(49.5) -> index 50

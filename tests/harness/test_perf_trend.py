@@ -135,3 +135,49 @@ def test_write_perf_record_creates_parents(tmp_path):
     path = write_perf_record(_record(1.0, created=0), tmp_path / "a/b/c.json")
     assert path.exists()
     assert json.loads(path.read_text())["schema"] == PERF_SCHEMA
+
+
+# ----------------------------------------------------------------------
+# cmd_perf_compare: sparse history is "no trend yet", never an error
+# ----------------------------------------------------------------------
+def _compare_args(history, markdown=False):
+    import argparse
+
+    return argparse.Namespace(
+        history=str(history), tolerance=15.0, window=3, markdown=markdown
+    )
+
+
+def test_compare_missing_history_dir_passes_with_no_trend(tmp_path, capsys):
+    from repro.harness.perf import cmd_perf_compare
+
+    assert cmd_perf_compare(_compare_args(tmp_path / "absent")) == 0
+    out = capsys.readouterr().out
+    assert "no trend yet" in out and "gate passes" in out
+
+
+def test_compare_empty_history_passes_with_no_trend(tmp_path, capsys):
+    from repro.harness.perf import cmd_perf_compare
+
+    assert cmd_perf_compare(_compare_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "0 perf record(s)" in out and "no trend yet" in out
+
+
+def test_compare_single_record_passes_with_no_trend(tmp_path, capsys):
+    from repro.harness.perf import cmd_perf_compare
+
+    write_perf_record(_record(100.0, created=1), tmp_path / "r1.json")
+    assert cmd_perf_compare(_compare_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "1 perf record(s)" in out and "no trend yet" in out
+
+
+def test_compare_two_records_renders_the_trend_table(tmp_path, capsys):
+    from repro.harness.perf import cmd_perf_compare
+
+    write_perf_record(_record(100.0, created=1), tmp_path / "r1.json")
+    write_perf_record(_record(101.0, created=2), tmp_path / "r2.json")
+    assert cmd_perf_compare(_compare_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "Perf trend" in out and "no trend yet" not in out
