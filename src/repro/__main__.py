@@ -3,15 +3,16 @@
 A thin wrapper over :mod:`repro.harness.experiments`'s CLI so the
 package itself is runnable; also the ``repro`` console-script target.
 
-The ``worker``, ``serve`` and ``load`` subcommands short-circuit
-before the experiments CLI is imported: sweep coordinators
-(:mod:`repro.harness.exec.sockets`) spawn one ``python -m repro
-worker`` process per job, the live-cluster controller
+The ``worker``, ``serve``, ``load`` and ``lint`` subcommands
+short-circuit before the experiments CLI is imported: sweep
+coordinators (:mod:`repro.harness.exec.sockets`) spawn one ``python -m
+repro worker`` process per job, the live-cluster controller
 (:mod:`repro.live.cluster`) spawns one ``python -m repro serve
---join`` process per replica, and the fast paths defer the
-experiments CLI (its argparse tree, figure rendering and their import
-chain) until a command actually needs it.  The behaviour is identical
-either way — these paths and the matching subcommands in
+--join`` process per replica, the static-analysis pass
+(:mod:`repro.analysis`) needs no simulator at all, and the fast paths
+defer the experiments CLI (its argparse tree, figure rendering and
+their import chain) until a command actually needs it.  The behaviour
+is identical either way — these paths and the matching subcommands in
 :mod:`repro.harness.experiments` delegate to the same mains.
 """
 
@@ -32,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.live.client import main as load_main
 
         return load_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     from repro.harness.experiments import main as _main
 
     return _main(argv)

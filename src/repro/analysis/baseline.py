@@ -1,0 +1,77 @@
+"""The committed suppression baseline.
+
+A baseline entry waives one checker code for one whole file — the
+escape hatch for intentional exceptions too broad for a line pragma.
+The file lives at the repository root (``lint-baseline.txt``), is
+committed, and every entry must carry a one-line justification; the
+policy is to keep it near-empty and fix violations instead.
+
+Format — one entry per line::
+
+    # comments and blank lines are ignored
+    RPR001 repro/somewhere/module.py  # why this file is exempt
+
+Entries that no longer waive anything are reported by ``repro lint``
+so the baseline shrinks as violations are fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+#: Default baseline filename, resolved against the lint root.
+BASELINE_NAME = "lint-baseline.txt"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    path: str
+    reason: str
+    line: int
+
+
+def parse_baseline(text: str, *, source: str = BASELINE_NAME) -> list[BaselineEntry]:
+    """Parse entries; :class:`AnalysisError` on a malformed line."""
+    entries: list[BaselineEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        body, sep, reason = stripped.partition("#")
+        fields = body.split()
+        if len(fields) != 2 or not sep or not reason.strip():
+            raise AnalysisError(
+                f"{source}:{lineno}: baseline entries are "
+                f"`CODE path  # justification`, got {stripped!r}"
+            )
+        code, path = fields
+        entries.append(BaselineEntry(
+            code=code, path=path, reason=reason.strip(), line=lineno
+        ))
+    return entries
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Entries from ``path``; an absent file is an empty baseline."""
+    if not path.exists():
+        return []
+    return parse_baseline(path.read_text(encoding="utf-8"), source=str(path))
+
+
+def waivers(entries: list[BaselineEntry]) -> set[tuple[str, str]]:
+    """The ``(code, path)`` pairs the entries suppress."""
+    return {(entry.code, entry.path) for entry in entries}
+
+
+def unused_entries(
+    entries: list[BaselineEntry], suppressed: set[tuple[str, str]]
+) -> list[BaselineEntry]:
+    """Entries that waived nothing in this run (candidates to delete)."""
+    return [
+        entry for entry in entries
+        if (entry.code, entry.path) not in suppressed
+    ]

@@ -58,7 +58,9 @@ class Client(Actor):
         self.network.multicast(
             self.name, self.targets, request, request.size_bytes, depart_time=depart
         )
-        self.trace("request_issued", req=request.key)
+        # Scale-only kind: guard so unmeasured runs skip the record.
+        if self.sim.trace.wants("request_issued"):
+            self.trace("request_issued", req=request.key)
         return request
 
     def on_message(self, sender: str, payload) -> None:

@@ -44,6 +44,16 @@ class SweepError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """The static-analysis pass could not run to a verdict.
+
+    Raised by :mod:`repro.analysis` for structural problems — a source
+    file that does not parse, an unknown checker code in ``--select``,
+    a malformed baseline file — never for ordinary findings, which are
+    data (:class:`repro.analysis.base.Finding`), not exceptions.
+    """
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly.
 

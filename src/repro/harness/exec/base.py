@@ -17,12 +17,12 @@ the moment it calls :func:`register`.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 from repro.errors import ConfigError
 from repro.harness.runner import PointResult, Progress, SweepTask
+from repro.harness.telemetry import Stopwatch
 
 #: Per-completion callback type (``None`` disables reporting).
 ProgressCallback = Callable[[Progress], None]
@@ -41,7 +41,9 @@ class Executor(ABC):
     #: Registry key; subclasses must override.
     name: str = ""
 
-    def __init__(self, jobs: int = 1, cost_hints: dict[str, float] | None = None):
+    def __init__(
+        self, jobs: int = 1, cost_hints: dict[str, float] | None = None
+    ) -> None:
         self.jobs = max(1, int(jobs))
         self.cost_hints = cost_hints
 
@@ -57,7 +59,7 @@ class Executor(ABC):
     # Shared helpers
     # ------------------------------------------------------------------
     def _start_clock(self) -> None:
-        self._started = time.perf_counter()
+        self._watch = Stopwatch()
         self._done = 0
 
     def _report(
@@ -73,7 +75,7 @@ class Executor(ABC):
             progress(Progress(
                 done=self._done,
                 total=total,
-                elapsed=time.perf_counter() - self._started,
+                elapsed=self._watch.elapsed,
                 last=point,
             ))
 
@@ -119,6 +121,6 @@ def names() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def create(name: str, **options) -> Executor:
+def create(name: str, **options: object) -> Executor:
     """Instantiate a backend with the given options."""
     return get(name)(**options)

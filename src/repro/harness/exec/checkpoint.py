@@ -34,7 +34,7 @@ from repro.harness.runner import PointResult, Progress, SweepTask
 class Checkpoint:
     """An append-only journal of finished sweep points."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._git_sha = current_git_sha()
 

@@ -195,7 +195,7 @@ class SocketExecutor(Executor):
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         worker_env: dict[str, str] | None = None,
         auth_key: str | bytes | None = None,
-    ):
+    ) -> None:
         super().__init__(jobs=jobs, cost_hints=cost_hints)
         self.bind = bind
         self.port = port
@@ -264,7 +264,7 @@ class SocketExecutor(Executor):
         # fleet of orphans.  Only the main thread may install handlers.
         old_handlers: dict[int, object] = {}
         if threading.current_thread() is threading.main_thread():
-            def _interrupted(signo, frame):
+            def _interrupted(signo: int, frame: object) -> None:
                 self._abort(SweepError(
                     f"sweep interrupted by {signal.Signals(signo).name}"
                 ))

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import repro.harness.probes as probe_registry
 import repro.protocols as protocols
@@ -57,6 +56,7 @@ from repro.harness.runner import (
     order_series,
     print_progress,
 )
+from repro.harness.telemetry import Stopwatch
 from repro.harness.sweeps import (
     BACKLOG_BATCHES,
     F3_INTERVALS,
@@ -676,7 +676,7 @@ def _cmd_figure(figure: str, args) -> int:
                           probes=_parse_probes(args.probes),
                           fast_crypto=args.fast_crypto)
     executor = args.executor or default_executor(args.jobs, len(tasks))
-    started = time.perf_counter()
+    watch = Stopwatch()
     results = execute(
         tasks, jobs=args.jobs,
         progress=print_progress if args.progress else None,
@@ -684,7 +684,7 @@ def _cmd_figure(figure: str, args) -> int:
         checkpoint=args.resume,
         executor_options=_executor_options(args, executor),
     )
-    wall = time.perf_counter() - started
+    wall = watch.elapsed
     if args.json_dir:
         params = _sweep_params(args, figure, executor)
         if figure == "f3pop":
@@ -737,7 +737,7 @@ def _cmd_suite(args) -> int:
         f"{len(unique)} unique, jobs={args.jobs}",
         file=sys.stderr,
     )
-    started = time.perf_counter()
+    watch = Stopwatch()
     # A prior run's artifacts are a perfect cost oracle (deterministic
     # per-point event counts): dispatch the expensive points first so
     # the slowest task never straggles at the tail of the sweep.
@@ -752,7 +752,7 @@ def _cmd_suite(args) -> int:
         cost_hints=load_cost_hints(args.baseline_dir),
         executor_options=_executor_options(args, executor),
     )
-    wall = time.perf_counter() - started
+    wall = watch.elapsed
     by_task = dict(zip(unique, results))
 
     rows = []
@@ -990,6 +990,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_perf_arguments(perf_parser)
 
+    from repro.analysis.cli import add_lint_arguments
+
+    lint_parser = sub.add_parser(
+        "lint", help="statically check the determinism/safety invariants "
+                     "(RPR001-RPR005)"
+    )
+    add_lint_arguments(lint_parser)
+
     args = parser.parse_args(argv)
     try:
         if args.command == "suite":
@@ -1023,6 +1031,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.live.client import cmd_load
 
             return cmd_load(args)
+        if args.command == "lint":
+            from repro.analysis.cli import cmd_lint
+
+            return cmd_lint(args)
         return _cmd_figure(args.command, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,6 +37,7 @@ from pathlib import Path
 from repro.errors import ConfigError
 from repro.harness.report import render_table
 from repro.harness.runner import SweepTask, run_task
+from repro.harness.telemetry import Stopwatch, unix_now
 
 #: Version tag of the ``BENCH_perf.json`` record this module emits.
 #: Bump on any field rename/removal; the trend comparator skips
@@ -80,12 +81,12 @@ def run_reference_point(task: SweepTask = REFERENCE_TASK) -> PerfPoint:
 def _ops_per_second(fn, min_time: float = 0.2) -> float:
     """Run ``fn`` repeatedly for at least ``min_time`` seconds."""
     count = 0
-    started = time.perf_counter()
+    watch = Stopwatch()
     elapsed = 0.0
     while elapsed < min_time:
         fn()
         count += 1
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed
     return count / elapsed
 
 
@@ -232,7 +233,7 @@ def collect_perf_record(repeats: int = 3, include_micro: bool = True) -> dict:
 
     record = {
         "schema": PERF_SCHEMA,
-        "created_unix": time.time(),
+        "created_unix": unix_now(),
         "git_sha": _git_sha(),
         "reference_point": REFERENCE_TASK.point_id,
         "repeats": repeats,

@@ -97,6 +97,14 @@ class Probe(ABC):
     #: from fast-crypto mode to real byte-level encoding for the run;
     #: the paper's probes all measure timings, so the default is False.
     needs_digests: bool = False
+    #: True when the probe is a scale-only measurement whose kinds are
+    #: emitted on per-event hot paths (per request, per batch tick, per
+    #: crypto op).  Emitters of such kinds must guard with
+    #: :meth:`~repro.sim.trace.Tracer.wants` before building field
+    #: values, so unmeasured runs pay one method call per event, not a
+    #: record construction — the static pass (``repro lint``, RPR003)
+    #: reads this marker and enforces the guard tree-wide.
+    scale_only: bool = False
 
     def __init__(self, context: ProbeContext) -> None:
         self.context = context

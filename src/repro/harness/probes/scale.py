@@ -59,6 +59,7 @@ class ClientFairnessProbe(Probe):
         "client_p95_over_p50",
     )
     directions = {"fairness_jain": "higher"}
+    scale_only = True
 
     def __init__(self, context: ProbeContext) -> None:
         super().__init__(context)
@@ -136,6 +137,7 @@ class QueueDepthProbe(Probe):
     )
     provides = ("queue_depth_mean", "queue_depth_p95", "queue_depth_max")
     directions = {}
+    scale_only = True
 
     def __init__(self, context: ProbeContext) -> None:
         super().__init__(context)
@@ -207,6 +209,7 @@ class CryptoCostProbe(Probe):
         "verify_cost_s",
     ) + tuple(f"cost_{phase}_s" for phase in _PHASE_NAMES)
     directions = {}
+    scale_only = True
 
     def __init__(self, context: ProbeContext) -> None:
         super().__init__(context)

@@ -39,13 +39,13 @@ from __future__ import annotations
 import hashlib
 import json
 import sys
-import time
 from dataclasses import dataclass
 from functools import cached_property, lru_cache
 from typing import Callable, Iterable, Sequence
 
 from repro.calibration import CalibrationProfile, ideal_testbed, paper_testbed
 from repro.errors import ConfigError
+from repro.harness.telemetry import Stopwatch
 
 #: Task kinds understood by :func:`run_task`.
 ORDER = "order"
@@ -242,12 +242,12 @@ def run_task(task: SweepTask) -> PointResult:
     """Execute one sweep point; pure in everything but wall time."""
     from repro.harness import experiments
 
-    started = time.perf_counter()
+    watch = Stopwatch()
     if task.kind == SCENARIO:
         from repro.harness.scenario import run_scenario
 
         return PointResult(task=task, result=run_scenario(task.scenario),
-                           wall_time=time.perf_counter() - started)
+                           wall_time=watch.elapsed)
     calibration = resolve_calibration(task.calibration)
     if task.kind == ORDER:
         result = experiments.run_order_experiment(
@@ -277,7 +277,7 @@ def run_task(task: SweepTask) -> PointResult:
             fast_crypto=task.fast_crypto,
         )
     return PointResult(task=task, result=result,
-                       wall_time=time.perf_counter() - started)
+                       wall_time=watch.elapsed)
 
 
 # ----------------------------------------------------------------------

@@ -193,7 +193,9 @@ class VirtualClientPool(Actor):
         self.network.multicast(
             self.name, self.targets, request, request.size_bytes, depart_time=depart
         )
-        self.trace("request_issued", req=request.key, cls=class_name)
+        # Scale-only kind: guard so unmeasured runs skip the record.
+        if self.sim.trace.wants("request_issued"):
+            self.trace("request_issued", req=request.key, cls=class_name)
         self.issued += 1
 
     def on_message(self, sender: str, payload) -> None:  # pragma: no cover

@@ -129,6 +129,13 @@ async def fetch_spec(control: str, auth_key: bytes | None) -> dict:
     return frame[1]
 
 
+def _write_summary_file(path: str, summary: dict) -> None:
+    """Synchronous summary dump, always invoked off the event loop."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def percentile(values: list[float], q: float) -> float:
     if not values:
         return 0.0
@@ -222,9 +229,10 @@ async def run_load(args) -> int:
     }
     if args.json:
         summary["samples"] = [round(v, 6) for v in latencies]
-        with open(args.json, "w", encoding="utf-8") as fh:
-            json.dump(summary, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        # The measurement window is over (transport closed), but other
+        # tasks may still be draining on this loop — keep the disk
+        # write off it.
+        await asyncio.to_thread(_write_summary_file, args.json, summary)
         summary.pop("samples")
     print(json.dumps(summary, sort_keys=True), flush=True)
     if committed == 0 and issued > 0:

@@ -1,0 +1,150 @@
+"""The lint engine and CLI: selection, the JSON schema, and the
+gate on the repository's own tree.
+
+The JSON payload is a documented stable schema (README "Static
+analysis"): CI's trend job and any future tooling pin on these keys,
+so the shape test here is the compatibility contract.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    JSON_SCHEMA_VERSION,
+    lint_sources,
+    normalize_relpath,
+)
+from repro.errors import AnalysisError
+
+REPO = Path(__file__).resolve().parents[2]
+
+CLOCKY = "import time\n\n\ndef f():\n    return time.time()\n"
+PICKLY = "import pickle\n\n\ndef f(blob):\n    return pickle.loads(blob)\n"
+
+
+# ----------------------------------------------------------------------
+# Engine semantics
+# ----------------------------------------------------------------------
+def test_select_and_ignore_filter_the_report():
+    sources = [("repro/sim/x.py", CLOCKY), ("repro/sim/y.py", PICKLY)]
+    full = lint_sources(sources)
+    assert {f.code for f in full.active()} == {"RPR001", "RPR004"}
+
+    only_clock = lint_sources(sources, select=("RPR001",))
+    assert {f.code for f in only_clock.active()} == {"RPR001"}
+
+    no_clock = lint_sources(sources, ignore=("RPR001",))
+    assert {f.code for f in no_clock.active()} == {"RPR004"}
+    assert no_clock.exit_code == 1
+
+    with pytest.raises(AnalysisError, match="unknown checker"):
+        lint_sources(sources, select=("RPR999",))
+
+
+def test_findings_are_sorted_and_counts_split_by_state():
+    sources = [
+        ("repro/sim/b.py", CLOCKY),
+        (
+            "repro/sim/a.py",
+            "import time\n\n\ndef f():\n"
+            "    return time.time()  # repro: allow[RPR001] boot banner\n",
+        ),
+    ]
+    report = lint_sources(sources)
+    assert [f.path for f in report.findings] == ["repro/sim/a.py", "repro/sim/b.py"]
+    assert report.counts() == {"RPR001": {"active": 1, "pragma": 1, "baseline": 0}}
+
+
+def test_normalize_relpath_strips_the_src_layer(tmp_path):
+    assert normalize_relpath(
+        tmp_path / "src" / "repro" / "sim" / "x.py", tmp_path
+    ) == "repro/sim/x.py"
+    assert normalize_relpath(
+        tmp_path / "tests" / "sim" / "test_x.py", tmp_path
+    ) == "tests/sim/test_x.py"
+
+
+def test_json_payload_shape_is_stable():
+    report = lint_sources([("repro/sim/x.py", CLOCKY)])
+    payload = report.to_json()
+    assert sorted(payload) == [
+        "codes_run", "counts", "exit_code", "files_checked", "findings",
+        "schema_version", "stale_baseline", "tool",
+    ]
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["codes_run"] == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+    ]
+    (finding,) = payload["findings"]
+    assert sorted(finding) == ["code", "col", "line", "message", "path", "state"]
+    assert finding["state"] == "active"
+    assert payload["exit_code"] == 1
+    json.dumps(payload)  # must be serializable as-is
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_text_and_json_on_a_dirty_tree(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "x.py").write_text(CLOCKY)
+
+    assert main([str(tmp_path / "src"), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "repro/sim/x.py:5:" in out
+    assert "RPR001" in out and "1 active" in out
+
+    assert main([
+        str(tmp_path / "src"), "--root", str(tmp_path), "--format", "json",
+    ]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+
+    # --ignore empties the report; the gate follows it.
+    assert main([
+        str(tmp_path / "src"), "--root", str(tmp_path), "--ignore", "RPR001",
+    ]) == 0
+    capsys.readouterr()
+
+
+def test_cli_list_and_usage_errors(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert code in out
+
+    assert main(["--select", "NOPE", str(REPO / "pyproject.toml")]) == 2
+    assert "unknown checker" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The gate on this repository
+# ----------------------------------------------------------------------
+def test_repo_tree_is_lint_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--format", "json",
+         str(REPO / "src"), str(REPO / "tests"), "--root", str(REPO)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["exit_code"] == 0
+    assert payload["files_checked"] > 150
+    # The five invariants all ran; nothing active anywhere.
+    assert payload["codes_run"] == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+    ]
+    assert all(
+        states["active"] == 0 for states in payload["counts"].values()
+    )

@@ -123,6 +123,7 @@ def test_probe_report_pickles_and_compares():
         values=(("latency_mean", 0.25),),
         series=(MetricSeries("order_latency", ((0.1, 0.25),)),),
     )
+    # repro: allow[RPR004] round-trip of an in-process value, no untrusted bytes
     clone = pickle.loads(pickle.dumps(report))
     assert clone == report
     assert clone.latency_mean == 0.25

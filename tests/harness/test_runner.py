@@ -50,6 +50,7 @@ def serial_results():
 # ----------------------------------------------------------------------
 def test_task_is_picklable_and_hashable():
     task = GRID[0]
+    # repro: allow[RPR004] round-trip of an in-process value, no untrusted bytes
     assert pickle.loads(pickle.dumps(task)) == task
     assert len({*GRID, *GRID}) == len(GRID)
 

@@ -253,6 +253,7 @@ def test_scenario_grid_tasks_are_pure_and_picklable():
     assert changed[0].point_id != tasks[0].point_id
     import pickle
 
+    # repro: allow[RPR004] round-trip of an in-process value, no untrusted bytes
     assert pickle.loads(pickle.dumps(tasks[0])) == tasks[0]
 
 
